@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the aggregation kernel (the data-plane
+//! cost behind unit experiment A): roll-up throughput per aggregate
+//! function and per roll-up depth.
+
+use aggcache_bench::rig::apb_dataset;
+use aggcache_store::{AggFn, Aggregator, Lift};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_aggregate(c: &mut Criterion) {
+    let dataset = apb_dataset(100_000, 3);
+    let schema = dataset.schema.clone();
+    let fact_level = dataset.grid.geom(dataset.fact_gb).level().to_vec();
+    let n_tuples = dataset.fact.num_tuples();
+    let chunks: Vec<u64> = dataset.fact.non_empty_chunks();
+
+    let mut group = c.benchmark_group("aggregate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_tuples));
+
+    for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max] {
+        group.bench_with_input(
+            BenchmarkId::new("full_scan_to_top", format!("{agg:?}")),
+            &agg,
+            |b, &agg| {
+                b.iter(|| {
+                    let mut a = Aggregator::new(&schema, &[0, 0, 0, 0, 0], agg);
+                    for &chunk in &chunks {
+                        a.add(&fact_level, dataset.fact.scan_chunk(chunk), Lift::Raw);
+                    }
+                    black_box(a.finish())
+                })
+            },
+        );
+    }
+
+    for (name, target) in [
+        ("one_step", vec![6u8, 2, 3, 0, 0]),
+        ("mid", vec![3, 1, 2, 0, 0]),
+        ("top", vec![0, 0, 0, 0, 0]),
+    ] {
+        group.bench_with_input(BenchmarkId::new("rollup_depth", name), &target, |b, target| {
+            b.iter(|| {
+                let mut a = Aggregator::new(&schema, target, AggFn::Sum);
+                for &chunk in &chunks {
+                    a.add(&fact_level, dataset.fact.scan_chunk(chunk), Lift::Raw);
+                }
+                black_box(a.finish())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregate);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion end-to-end benchmarks: a full paper-mix query stream through
+//! each strategy (the wall-clock counterpart of Figs. 8-9).
+
+use aggcache_bench::rig::{apb_dataset, MB};
+use aggcache_bench::stream::{run_stream, StreamRun};
+use aggcache_cache::PolicyKind;
+use aggcache_core::Strategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_streams(c: &mut Criterion) {
+    let dataset = apb_dataset(110_000, 5);
+    let cache_bytes = (1.5 * MB as f64) as usize; // 15 MB paper-equivalent
+
+    let mut group = c.benchmark_group("stream_100_queries");
+    group.sample_size(10);
+
+    for (name, strategy, policy, preload) in [
+        ("no_aggregation", Strategy::NoAggregation, PolicyKind::Benefit, false),
+        ("esm_two_level", Strategy::Esm, PolicyKind::TwoLevel, true),
+        ("vcm_two_level", Strategy::Vcm, PolicyKind::TwoLevel, true),
+        ("vcmc_two_level", Strategy::Vcmc, PolicyKind::TwoLevel, true),
+        ("vcmc_benefit", Strategy::Vcmc, PolicyKind::Benefit, true),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                black_box(run_stream(
+                    &dataset,
+                    StreamRun {
+                        strategy,
+                        policy,
+                        cache_bytes,
+                        preload,
+                        queries: 100,
+                        seed: 42,
+                        group_boost: true,
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

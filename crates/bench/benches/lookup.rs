@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the four lookup algorithms (paper Table 1
+//! in statistically-sound form): cold cache vs base-preloaded cache, at a
+//! detailed and an aggregated group-by.
+
+use aggcache_bench::rig::{apb_dataset, manager_for};
+use aggcache_cache::{Origin, PolicyKind};
+use aggcache_chunks::ChunkKey;
+use aggcache_core::{CacheManager, LookupStats, Strategy};
+use aggcache_gen::Dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const TUPLES: u64 = 50_000;
+
+fn warm(mgr: &mut CacheManager, dataset: &Dataset) {
+    let fetch = mgr.backend().fetch_group_by(dataset.fact_gb).unwrap();
+    for (chunk, data) in fetch.chunks {
+        mgr.insert_chunk(ChunkKey::new(dataset.fact_gb, chunk), data, Origin::Backend, 1.0);
+    }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let dataset = apb_dataset(TUPLES, 1);
+    let lattice = dataset.grid.schema().lattice().clone();
+    let aggregated = lattice.id_of(&[1, 1, 1, 0, 0]).unwrap();
+    let detailed = lattice.id_of(&[5, 2, 3, 1, 0]).unwrap();
+
+    let strategies = [
+        ("esm", Strategy::Esm),
+        ("vcm", Strategy::Vcm),
+        ("vcmc", Strategy::Vcmc),
+    ];
+
+    for (scenario, warm_cache) in [("cold", false), ("warm", true)] {
+        let mut group = c.benchmark_group(format!("lookup/{scenario}"));
+        group.sample_size(20);
+        for (name, strategy) in strategies {
+            // ESM's cold lookup at aggregated levels explores the whole
+            // lattice — skip the pathological pairing to keep bench times
+            // sane (Table 1's binary covers it).
+            for (level_name, gb) in [("aggregated", aggregated), ("detailed", detailed)] {
+                if !warm_cache && strategy == Strategy::Esm && level_name == "aggregated" {
+                    continue;
+                }
+                let mut mgr = manager_for(&dataset, strategy, PolicyKind::Benefit, usize::MAX >> 1);
+                if warm_cache {
+                    warm(&mut mgr, &dataset);
+                }
+                group.bench_with_input(
+                    BenchmarkId::new(name, level_name),
+                    &gb,
+                    |b, &gb| {
+                        b.iter(|| {
+                            let mut stats = LookupStats::default();
+                            black_box(mgr.lookup_chunk(black_box(ChunkKey::new(gb, 0)), &mut stats))
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks of virtual-count and cost-table maintenance
+//! (paper Table 2): per-chunk insert/evict propagation cost.
+
+use aggcache_bench::rig::apb_dataset;
+use aggcache_chunks::ChunkKey;
+use aggcache_core::{CostTable, CountTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_updates(c: &mut Criterion) {
+    let dataset = apb_dataset(10_000, 2);
+    let grid = dataset.grid.clone();
+    let fact_gb = dataset.fact_gb;
+    let n_chunks = grid.n_chunks(fact_gb);
+
+    let mut group = c.benchmark_group("table_update");
+    group.sample_size(20);
+
+    // Insert + evict one base chunk against a table already holding the
+    // rest of the base level (the worst case of Lemma 2: inserts at the
+    // most detailed level).
+    group.bench_function("vcm_insert_evict_base_chunk", |b| {
+        let mut table = CountTable::new(grid.clone());
+        for chunk in 1..n_chunks {
+            table.on_insert(ChunkKey::new(fact_gb, chunk));
+        }
+        let key = ChunkKey::new(fact_gb, 0);
+        b.iter(|| {
+            table.on_insert(black_box(key));
+            table.on_evict(black_box(key));
+        });
+    });
+
+    group.bench_function("vcmc_insert_evict_base_chunk", |b| {
+        let mut table = CostTable::new(grid.clone());
+        for chunk in 1..n_chunks {
+            table.on_insert(ChunkKey::new(fact_gb, chunk), 100);
+        }
+        let key = ChunkKey::new(fact_gb, 0);
+        b.iter(|| {
+            table.on_insert(black_box(key), 100);
+            table.on_evict(black_box(key));
+        });
+    });
+
+    // Sparse storage (paper Table 3 remark): the same worst-case insert
+    // against hash-map-backed cells, to quantify the lookup-speed price of
+    // the memory savings.
+    group.bench_function("vcm_sparse_insert_evict_base_chunk", |b| {
+        let mut table = CountTable::new_sparse(grid.clone());
+        for chunk in 1..n_chunks {
+            table.on_insert(ChunkKey::new(fact_gb, chunk));
+        }
+        let key = ChunkKey::new(fact_gb, 0);
+        b.iter(|| {
+            table.on_insert(black_box(key));
+            table.on_evict(black_box(key));
+        });
+    });
+
+    // The cheap case: inserting an already-computable aggregated chunk.
+    let agg_gb = grid.schema().lattice().id_of(&[6, 2, 3, 0, 0]).unwrap();
+    group.bench_function("vcm_insert_evict_covered_chunk", |b| {
+        let mut table = CountTable::new(grid.clone());
+        for chunk in 0..n_chunks {
+            table.on_insert(ChunkKey::new(fact_gb, chunk));
+        }
+        let key = ChunkKey::new(agg_gb, 0);
+        b.iter(|| {
+            table.on_insert(black_box(key));
+            table.on_evict(black_box(key));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

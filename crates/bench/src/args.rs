@@ -1,0 +1,62 @@
+//! Minimal `--key value` argument parsing for the experiment binaries —
+//! keeps the dependency footprint to the sanctioned offline crates.
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` arguments.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `--key value` pairs become values;
+    /// bare `--flag`s (followed by another `--` or nothing) become flags.
+    pub fn parse() -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), argv[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// A typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_defaults() {
+        let a = Args::default();
+        assert_eq!(a.get("tuples", 42u64), 42);
+        assert!(!a.flag("full"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Runs the design-choice ablations (DESIGN.md §7).
+use aggcache_bench::{args::Args, experiments::ablation};
+
+fn main() {
+    let a = Args::parse();
+    let opts = ablation::Opts {
+        tuples: a.get("tuples", ablation::Opts::default().tuples),
+        seed: a.get("seed", ablation::Opts::default().seed),
+        queries: a.get("queries", ablation::Opts::default().queries),
+        workload_seed: a.get("workload-seed", ablation::Opts::default().workload_seed),
+    };
+    println!("{}", ablation::run(opts));
+}

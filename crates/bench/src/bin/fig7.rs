@@ -1,0 +1,15 @@
+//! Reproduces paper Fig7 via the replacement-policy experiment.
+use aggcache_bench::{args::Args, experiments::policy};
+
+fn main() {
+    let a = Args::parse();
+    let opts = policy::Opts {
+        tuples: a.get("tuples", policy::Opts::default().tuples),
+        seed: a.get("seed", policy::Opts::default().seed),
+        queries: a.get("queries", policy::Opts::default().queries),
+        workload_seed: a.get("workload-seed", policy::Opts::default().workload_seed),
+        repeats: a.get("repeats", policy::Opts::default().repeats),
+    };
+    let results = policy::run_experiment(opts);
+    println!("{}", policy::render_fig7(&results));
+}

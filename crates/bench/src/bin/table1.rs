@@ -1,0 +1,12 @@
+//! Reproduces paper Table 1 (lookup times).
+use aggcache_bench::{args::Args, experiments::table1};
+
+fn main() {
+    let a = Args::parse();
+    let opts = table1::Opts {
+        tuples: a.get("tuples", table1::Opts::default().tuples),
+        seed: a.get("seed", table1::Opts::default().seed),
+        esmc_budget: a.get("esmc-budget", table1::Opts::default().esmc_budget),
+    };
+    println!("{}", table1::run(opts));
+}

@@ -1,0 +1,11 @@
+//! Reproduces paper Table 2 (count/cost update times).
+use aggcache_bench::{args::Args, experiments::table2};
+
+fn main() {
+    let a = Args::parse();
+    let opts = table2::Opts {
+        tuples: a.get("tuples", table2::Opts::default().tuples),
+        seed: a.get("seed", table2::Opts::default().seed),
+    };
+    println!("{}", table2::run(opts));
+}

@@ -1,0 +1,11 @@
+//! Reproduces paper Table 3 (space overhead).
+use aggcache_bench::{args::Args, experiments::table3};
+
+fn main() {
+    let a = Args::parse();
+    let opts = table3::Opts {
+        tuples: a.get("tuples", table3::Opts::default().tuples),
+        seed: a.get("seed", table3::Opts::default().seed),
+    };
+    println!("{}", table3::run(opts));
+}

@@ -1,0 +1,15 @@
+//! Reproduces paper Table4 via the three-scheme comparison experiment.
+use aggcache_bench::{args::Args, experiments::comparison};
+
+fn main() {
+    let a = Args::parse();
+    let opts = comparison::Opts {
+        tuples: a.get("tuples", comparison::Opts::default().tuples),
+        seed: a.get("seed", comparison::Opts::default().seed),
+        queries: a.get("queries", comparison::Opts::default().queries),
+        workload_seed: a.get("workload-seed", comparison::Opts::default().workload_seed),
+        repeats: a.get("repeats", comparison::Opts::default().repeats),
+    };
+    let results = comparison::run_experiment(opts);
+    println!("{}", comparison::render_table4(&results));
+}

@@ -1,0 +1,10 @@
+//! One module per paper table/figure, plus the two unit experiments.
+
+pub mod ablation;
+pub mod comparison;
+pub mod policy;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod unit_a;
+pub mod unit_b;

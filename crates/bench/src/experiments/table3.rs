@@ -1,0 +1,89 @@
+//! **Table 3** — maximum space overhead of the lookup-acceleration arrays.
+//!
+//! Paper figures for APB-1: 32 256 chunks across all levels; ESM/ESMC
+//! overhead 0; VCM 32 256 × 1 B ≈ 32 KB; VCMC 32 256 × 6 B ≈ 194 KB —
+//! about 0.97% of the 20 MB base table.
+
+use crate::report::{f2, Table};
+use crate::rig::apb_dataset;
+use aggcache_chunks::{ChunkKey, PAPER_TUPLE_BYTES};
+use aggcache_core::{CostTable, CountTable};
+
+/// Options for the Table 3 run.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Fact tuples.
+    pub tuples: u64,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            tuples: 1_000_000,
+            seed: 0xA9B1,
+        }
+    }
+}
+
+/// Runs the experiment and renders the report.
+pub fn run(opts: Opts) -> String {
+    let dataset = apb_dataset(opts.tuples, opts.seed);
+    let census = dataset.grid.total_chunk_census();
+    let base_bytes = dataset.num_tuples() * PAPER_TUPLE_BYTES as u64;
+
+    let mut out = String::from("Table 3: maximum space overhead\n\n");
+    out.push_str(&format!(
+        "total chunks over all levels: {census}\nbase table: {} tuples = {:.1} MB\n\n",
+        dataset.num_tuples(),
+        base_bytes as f64 / 1.0e6
+    ));
+
+    let mut table = Table::new(&["method", "bytes/chunk", "total", "% of base table"]);
+    for (name, per_chunk) in [("ESM", 0u64), ("ESMC", 0), ("VCM", 1), ("VCMC", 6)] {
+        let total = census * per_chunk;
+        table.row(vec![
+            name.to_string(),
+            per_chunk.to_string(),
+            if total >= 1024 {
+                format!("{} KB", total / 1024)
+            } else {
+                format!("{total} B")
+            },
+            f2(100.0 * total as f64 / base_bytes as f64),
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(
+        "\nPaper figures: VCM 32 KB, VCMC 194 KB — ≈ 0.97% of the base\n\
+         table. The chunk census of this grid matches the paper's 32 256\n\
+         exactly at full scale.\n",
+    );
+
+    // The paper's closing remark: "sparse array representation can be used
+    // to reduce storage". Measure the resident size of sparse tables after
+    // loading every base chunk (the warmest realistic state).
+    let mut vcm_sparse = CountTable::new_sparse(dataset.grid.clone());
+    let mut vcmc_sparse = CostTable::new_sparse(dataset.grid.clone());
+    let base_chunks = dataset.grid.n_chunks(dataset.fact_gb);
+    for chunk in 0..base_chunks {
+        let key = ChunkKey::new(dataset.fact_gb, chunk);
+        vcm_sparse.on_insert(key);
+        vcmc_sparse.on_insert(key, dataset.fact.tuples_in(chunk) as u32);
+    }
+    out.push_str(&format!(
+        "\nSparse layout (the paper's suggested optimization) holds one map\n\
+         entry per non-default cell. With all {base_chunks} base chunks cached —\n\
+         the worst case for sparse, since the full base makes *every* chunk\n\
+         computable — it resides at VCM ≈ {} KB / VCMC ≈ {} KB vs the dense\n\
+         {} KB / {} KB: sparse only pays off while the computable set is a\n\
+         small fraction of the census (cold or small caches, or much larger\n\
+         lattices), which is the honest reading of the paper's remark.\n",
+        vcm_sparse.resident_bytes() / 1024,
+        vcmc_sparse.resident_bytes() / 1024,
+        census / 1024,
+        6 * census / 1024,
+    ));
+    out
+}

@@ -1,0 +1,69 @@
+//! Shared experiment setup: the APB-1 dataset and manager construction.
+
+use aggcache_cache::PolicyKind;
+use aggcache_core::{CacheManager, ManagerConfig, Strategy};
+use aggcache_gen::{Apb1Config, Dataset};
+use aggcache_store::{AggFn, Backend, BackendCostModel};
+
+/// One megabyte of accounting bytes.
+pub const MB: usize = 1_000_000;
+
+/// The cache sizes of the paper's query-stream experiments (§7.2).
+pub const PAPER_CACHE_SIZES_MB: [usize; 4] = [10, 15, 20, 25];
+
+/// Builds the APB-1-like dataset used by all experiments.
+///
+/// `tuples` defaults to the paper's one million; smaller values scale the
+/// experiment down proportionally (useful for quick runs).
+pub fn apb_dataset(tuples: u64, seed: u64) -> Dataset {
+    Apb1Config {
+        n_tuples: tuples,
+        density: 0.7,
+        seed,
+    }
+    .build()
+}
+
+/// Wraps a dataset's fact table in a backend with the default cost model.
+/// The fact table is cloned so that one generated dataset can feed many
+/// manager configurations.
+pub fn backend_for(dataset: &Dataset) -> Backend {
+    Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default())
+}
+
+/// Builds a manager over (a clone of) the dataset's fact table.
+pub fn manager_for(
+    dataset: &Dataset,
+    strategy: Strategy,
+    policy: PolicyKind,
+    cache_bytes: usize,
+) -> CacheManager {
+    CacheManager::new(
+        backend_for(dataset),
+        ManagerConfig::new(strategy, policy, cache_bytes),
+    )
+}
+
+/// Human label of a strategy for report tables.
+pub fn strategy_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::NoAggregation => "NoAgg",
+        Strategy::Esm => "ESM",
+        Strategy::Esmc { .. } => "ESMC",
+        Strategy::Vcm => "VCM",
+        Strategy::Vcmc => "VCMC",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_builds_small_dataset() {
+        let ds = apb_dataset(2_000, 1);
+        assert!(ds.num_tuples() > 1_500);
+        let mgr = manager_for(&ds, Strategy::Vcm, PolicyKind::TwoLevel, MB);
+        assert_eq!(mgr.cache().budget_bytes(), MB);
+    }
+}

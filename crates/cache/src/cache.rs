@@ -1,0 +1,536 @@
+use crate::clock::{ClockRing, MAX_CLOCK};
+use aggcache_chunks::{ChunkData, ChunkKey};
+use std::collections::{HashMap, HashSet};
+
+/// Where a cached chunk came from — the paper's two benefit classes (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Fetched from the backend database (includes pre-loaded chunks).
+    /// Expensive to reproduce: connection + query + transfer.
+    Backend,
+    /// Computed by aggregating other cached chunks. Cheap to reproduce as
+    /// long as its inputs stay cached.
+    Computed,
+}
+
+/// A cached chunk with its replacement metadata.
+#[derive(Debug)]
+pub struct CachedChunk {
+    /// The chunk's cells.
+    pub data: ChunkData,
+    /// Benefit class.
+    pub origin: Origin,
+    /// The benefit (cost of recomputation, in virtual milliseconds).
+    pub benefit: f64,
+    /// Accounting size in bytes.
+    pub bytes: usize,
+}
+
+/// Replacement policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Plain LRU approximated by CLOCK (second chance, no benefit
+    /// weighting) — a baseline below the paper's policies.
+    Lru,
+    /// Single benefit-weighted CLOCK over all chunks (\[DRSN98\]).
+    Benefit,
+    /// The paper's two-level policy: backend chunks outrank computed
+    /// chunks; supports group boosting.
+    TwoLevel,
+}
+
+/// The outcome of an insert.
+#[derive(Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the chunk was admitted. A computed chunk is refused when
+    /// admitting it would require evicting backend chunks (two-level
+    /// policy), or when the chunk alone exceeds the budget.
+    pub admitted: bool,
+    /// Chunks evicted to make room, in eviction order. The caller (the
+    /// cache manager) must propagate these to the virtual-count tables.
+    pub evicted: Vec<ChunkKey>,
+}
+
+enum Rings {
+    Lru(ClockRing),
+    Benefit(ClockRing),
+    TwoLevel {
+        backend: ClockRing,
+        computed: ClockRing,
+    },
+}
+
+/// A byte-budgeted chunk cache.
+///
+/// Insertions that exceed the budget trigger policy-driven eviction; the
+/// evicted keys are reported to the caller so that virtual counts can be
+/// maintained. Chunks can be *pinned* while they serve as inputs to an
+/// in-flight aggregation, protecting a computation plan's leaves from being
+/// evicted by its own outputs.
+pub struct ChunkCache {
+    budget: usize,
+    used: usize,
+    map: HashMap<ChunkKey, CachedChunk>,
+    rings: Rings,
+    pinned: HashSet<ChunkKey>,
+    /// Running mean benefit, used to normalize clock seeds.
+    benefit_sum: f64,
+    benefit_count: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ChunkCache {
+    /// Creates a cache with the given byte budget and policy.
+    pub fn new(budget_bytes: usize, policy: PolicyKind) -> Self {
+        let rings = match policy {
+            PolicyKind::Lru => Rings::Lru(ClockRing::new()),
+            PolicyKind::Benefit => Rings::Benefit(ClockRing::new()),
+            PolicyKind::TwoLevel => Rings::TwoLevel {
+                backend: ClockRing::new(),
+                computed: ClockRing::new(),
+            },
+        };
+        Self {
+            budget: budget_bytes,
+            used: 0,
+            map: HashMap::new(),
+            rings,
+            pinned: HashSet::new(),
+            benefit_sum: 0.0,
+            benefit_count: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> PolicyKind {
+        match self.rings {
+            Rings::Lru(_) => PolicyKind::Lru,
+            Rings::Benefit(_) => PolicyKind::Benefit,
+            Rings::TwoLevel { .. } => PolicyKind::TwoLevel,
+        }
+    }
+
+    /// The byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits observed via [`ChunkCache::get`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed via [`ChunkCache::get`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn normalized(&self, benefit: f64) -> f64 {
+        if self.benefit_count == 0 || self.benefit_sum <= 0.0 {
+            return 1.0;
+        }
+        let mean = self.benefit_sum / self.benefit_count as f64;
+        (benefit / mean).clamp(0.25, MAX_CLOCK)
+    }
+
+    /// Looks up a chunk, refreshing its clock on a hit.
+    pub fn get(&mut self, key: &ChunkKey) -> Option<&CachedChunk> {
+        if let Some(entry) = self.map.get(key) {
+            self.hits += 1;
+            let clock = self.normalized(entry.benefit);
+            match &mut self.rings {
+                // LRU: a use sets the reference weight above the insert
+                // seed (0.5), so recently-used entries survive the sweep.
+                Rings::Lru(r) => r.touch(key, 1.0),
+                Rings::Benefit(r) => r.touch(key, clock),
+                Rings::TwoLevel { backend, computed } => match entry.origin {
+                    Origin::Backend => backend.touch(key, clock),
+                    Origin::Computed => computed.touch(key, clock),
+                },
+            }
+            self.map.get(key)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Looks up a chunk without touching replacement state.
+    pub fn peek(&self, key: &ChunkKey) -> Option<&CachedChunk> {
+        self.map.get(key)
+    }
+
+    /// Whether `key` is cached (no replacement side effects).
+    pub fn contains(&self, key: &ChunkKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Pins a chunk: it cannot be chosen as an eviction victim until
+    /// unpinned.
+    pub fn pin(&mut self, key: ChunkKey) {
+        self.pinned.insert(key);
+    }
+
+    /// Unpins a chunk.
+    pub fn unpin(&mut self, key: &ChunkKey) {
+        self.pinned.remove(key);
+    }
+
+    /// Boosts the clocks of a group of chunks by (normalized) `benefit` —
+    /// the two-level policy's reward for groups that computed an aggregate
+    /// (§6.3). A no-op under the plain benefit policy.
+    pub fn boost_group<'a>(&mut self, keys: impl Iterator<Item = &'a ChunkKey>, benefit: f64) {
+        let amount = self.normalized(benefit);
+        if let Rings::TwoLevel { backend, computed } = &mut self.rings {
+            for key in keys {
+                backend.boost(key, amount);
+                computed.boost(key, amount);
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a chunk, evicting per policy to fit the
+    /// budget. Returns the admission decision and the evicted keys.
+    pub fn insert(
+        &mut self,
+        key: ChunkKey,
+        data: ChunkData,
+        origin: Origin,
+        benefit: f64,
+    ) -> InsertOutcome {
+        let bytes = data.accounting_bytes();
+        let mut evicted = Vec::new();
+
+        // Replacing an existing entry: drop the old one first.
+        if self.map.contains_key(&key) {
+            self.remove_internal(&key);
+        }
+
+        if bytes > self.budget {
+            return InsertOutcome {
+                admitted: false,
+                evicted,
+            };
+        }
+
+        // Feasibility precheck: can enough unpinned bytes be freed from the
+        // victim classes this origin may evict?
+        let need = (self.used + bytes).saturating_sub(self.budget);
+        if need > 0 && self.freeable_bytes(origin) < need {
+            return InsertOutcome {
+                admitted: false,
+                evicted,
+            };
+        }
+
+        while self.used + bytes > self.budget {
+            let victim = self.find_victim(origin);
+            match victim {
+                Some(v) => {
+                    self.remove_internal(&v);
+                    evicted.push(v);
+                }
+                None => {
+                    // Should not happen given the precheck, but stay safe:
+                    // refuse admission rather than over-commit.
+                    return InsertOutcome {
+                        admitted: false,
+                        evicted,
+                    };
+                }
+            }
+        }
+
+        self.benefit_sum += benefit.max(0.0);
+        self.benefit_count += 1;
+        let clock = self.normalized(benefit);
+        match &mut self.rings {
+            Rings::Lru(r) => r.insert(key, 0.5),
+            Rings::Benefit(r) => r.insert(key, clock),
+            Rings::TwoLevel { backend, computed } => match origin {
+                Origin::Backend => backend.insert(key, clock),
+                Origin::Computed => computed.insert(key, clock),
+            },
+        }
+        self.used += bytes;
+        self.map.insert(
+            key,
+            CachedChunk {
+                data,
+                origin,
+                benefit,
+                bytes,
+            },
+        );
+        InsertOutcome {
+            admitted: true,
+            evicted,
+        }
+    }
+
+    /// Removes a chunk explicitly; returns whether it was present.
+    pub fn remove(&mut self, key: &ChunkKey) -> bool {
+        self.remove_internal(key)
+    }
+
+    /// Iterates over the cached keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &ChunkKey> {
+        self.map.keys()
+    }
+
+    fn freeable_bytes(&self, origin: Origin) -> usize {
+        self.map
+            .iter()
+            .filter(|(k, e)| {
+                !self.pinned.contains(k)
+                    && match (self.policy(), origin) {
+                        // Computed chunks may only displace computed chunks.
+                        (PolicyKind::TwoLevel, Origin::Computed) => e.origin == Origin::Computed,
+                        _ => true,
+                    }
+            })
+            .map(|(_, e)| e.bytes)
+            .sum()
+    }
+
+    fn find_victim(&mut self, origin: Origin) -> Option<ChunkKey> {
+        let pinned = &self.pinned;
+        match &mut self.rings {
+            Rings::Lru(r) | Rings::Benefit(r) => r.find_victim(|k| pinned.contains(k)),
+            Rings::TwoLevel { backend, computed } => {
+                // Computed chunks are always the first victims; backend
+                // chunks fall only to other backend chunks.
+                if let Some(v) = computed.find_victim(|k| pinned.contains(k)) {
+                    return Some(v);
+                }
+                match origin {
+                    Origin::Backend => backend.find_victim(|k| pinned.contains(k)),
+                    Origin::Computed => None,
+                }
+            }
+        }
+    }
+
+    fn remove_internal(&mut self, key: &ChunkKey) -> bool {
+        let Some(entry) = self.map.remove(key) else {
+            return false;
+        };
+        self.used -= entry.bytes;
+        match &mut self.rings {
+            Rings::Lru(r) | Rings::Benefit(r) => {
+                r.remove(key);
+            }
+            Rings::TwoLevel { backend, computed } => {
+                backend.remove(key);
+                computed.remove(key);
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for ChunkCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkCache")
+            .field("policy", &self.policy())
+            .field("budget", &self.budget)
+            .field("used", &self.used)
+            .field("chunks", &self.map.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_schema::GroupById;
+
+    fn chunk(cells: usize) -> ChunkData {
+        let mut d = ChunkData::new(1);
+        for i in 0..cells {
+            d.push(&[i as u32], 1.0);
+        }
+        d
+    }
+
+    fn k(i: u64) -> ChunkKey {
+        ChunkKey::new(GroupById(0), i)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ChunkCache::new(400, PolicyKind::Lru);
+        c.insert(k(1), chunk(10), Origin::Backend, 100.0);
+        c.insert(k(2), chunk(10), Origin::Backend, 0.1);
+        // Touch k1 so k2 is the LRU victim despite benefits being ignored.
+        let _ = c.get(&k(1));
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![k(2)]);
+        assert_eq!(c.policy(), PolicyKind::Lru);
+    }
+
+    #[test]
+    fn lru_ignores_benefit() {
+        let mut c = ChunkCache::new(400, PolicyKind::Lru);
+        c.insert(k(1), chunk(10), Origin::Backend, 1e9);
+        c.insert(k(2), chunk(10), Origin::Backend, 1e9);
+        let _ = c.get(&k(2));
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 0.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![k(1)], "huge benefit must not protect under LRU");
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut c = ChunkCache::new(1000, PolicyKind::Benefit);
+        let out = c.insert(k(1), chunk(10), Origin::Backend, 5.0);
+        assert!(out.admitted);
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.used_bytes(), 200);
+        assert!(c.get(&k(1)).is_some());
+        assert!(c.get(&k(2)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn rejects_chunk_larger_than_budget() {
+        let mut c = ChunkCache::new(100, PolicyKind::Benefit);
+        let out = c.insert(k(1), chunk(10), Origin::Backend, 5.0);
+        assert!(!out.admitted);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn evicts_to_fit() {
+        let mut c = ChunkCache::new(400, PolicyKind::Benefit);
+        assert!(c.insert(k(1), chunk(10), Origin::Backend, 1.0).admitted);
+        assert!(c.insert(k(2), chunk(10), Origin::Backend, 1.0).admitted);
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted.len(), 1);
+        assert_eq!(c.len(), 2);
+        assert!(c.used_bytes() <= 400);
+    }
+
+    #[test]
+    fn higher_benefit_survives() {
+        let mut c = ChunkCache::new(400, PolicyKind::Benefit);
+        c.insert(k(1), chunk(10), Origin::Backend, 100.0);
+        c.insert(k(2), chunk(10), Origin::Backend, 0.1);
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 100.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![k(2)]);
+    }
+
+    #[test]
+    fn two_level_computed_cannot_evict_backend() {
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        c.insert(k(2), chunk(10), Origin::Backend, 1.0);
+        let out = c.insert(k(3), chunk(10), Origin::Computed, 100.0);
+        assert!(!out.admitted, "computed chunk must not displace backend chunks");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn two_level_backend_evicts_computed_first() {
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        c.insert(k(1), chunk(10), Origin::Backend, 0.1);
+        c.insert(k(2), chunk(10), Origin::Computed, 1000.0);
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        // Even a high-benefit computed chunk falls before any backend chunk.
+        assert_eq!(out.evicted, vec![k(2)]);
+    }
+
+    #[test]
+    fn two_level_computed_evicts_computed() {
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        c.insert(k(1), chunk(10), Origin::Computed, 1.0);
+        c.insert(k(2), chunk(10), Origin::Computed, 1.0);
+        let out = c.insert(k(3), chunk(10), Origin::Computed, 1.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted.len(), 1);
+    }
+
+    #[test]
+    fn pinned_chunks_are_not_victims() {
+        let mut c = ChunkCache::new(400, PolicyKind::Benefit);
+        c.insert(k(1), chunk(10), Origin::Backend, 0.1);
+        c.insert(k(2), chunk(10), Origin::Backend, 0.1);
+        c.pin(k(1));
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![k(2)]);
+        // Now both survivors are pinned or new; pin everything → reject.
+        c.pin(k(3));
+        let out = c.insert(k(4), chunk(10), Origin::Backend, 1.0);
+        assert!(!out.admitted);
+        c.unpin(&k(1));
+        let out = c.insert(k(4), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![k(1)]);
+    }
+
+    #[test]
+    fn replace_existing_key_updates_bytes() {
+        let mut c = ChunkCache::new(1000, PolicyKind::Benefit);
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        assert_eq!(c.used_bytes(), 200);
+        c.insert(k(1), chunk(20), Origin::Backend, 1.0);
+        assert_eq!(c.used_bytes(), 400);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn empty_chunks_are_cacheable() {
+        let mut c = ChunkCache::new(100, PolicyKind::TwoLevel);
+        let out = c.insert(k(1), chunk(0), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        assert!(c.contains(&k(1)));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        assert!(c.remove(&k(1)));
+        assert!(!c.remove(&k(1)));
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.insert(k(2), chunk(20), Origin::Backend, 1.0).admitted);
+    }
+
+    #[test]
+    fn group_boost_protects_group() {
+        let mut c = ChunkCache::new(600, PolicyKind::TwoLevel);
+        c.insert(k(1), chunk(10), Origin::Computed, 1.0);
+        c.insert(k(2), chunk(10), Origin::Computed, 1.0);
+        c.insert(k(3), chunk(10), Origin::Computed, 1.0);
+        let group = [k(1), k(2)];
+        c.boost_group(group.iter(), 50.0);
+        let out = c.insert(k(4), chunk(10), Origin::Computed, 1.0);
+        assert!(out.admitted);
+        assert_eq!(out.evicted, vec![k(3)]);
+    }
+}

@@ -1,0 +1,256 @@
+use aggcache_chunks::ChunkKey;
+use std::collections::HashMap;
+
+/// A CLOCK ring over chunk keys with real-valued clock weights.
+///
+/// The sweep hand visits entries circularly; an entry whose clock has run
+/// out is the victim, otherwise its clock is decremented and the hand moves
+/// on. Benefit weighting is achieved by seeding clocks proportionally to
+/// chunk benefit (normalized by the caller), so expensive chunks survive
+/// more sweep passes — the paper's "benefit based replacement … we
+/// approximate LRU with CLOCK" (§6.3).
+#[derive(Debug, Default)]
+pub struct ClockRing {
+    keys: Vec<ChunkKey>,
+    clocks: Vec<f64>,
+    pos: HashMap<ChunkKey, usize>,
+    hand: usize,
+}
+
+/// Upper clamp on clock values: together with [`SWEEP_DECREMENT`] this
+/// bounds the number of sweep passes any entry can survive, keeping victim
+/// search `O(n · MAX_CLOCK / SWEEP_DECREMENT)` worst case.
+pub(crate) const MAX_CLOCK: f64 = 64.0;
+
+/// Clock decrement per sweep visit. Finer than the minimum normalized clock
+/// (0.25) so that benefit differences below 1.0 still order victims.
+pub(crate) const SWEEP_DECREMENT: f64 = 0.25;
+
+impl ClockRing {
+    /// Creates an empty ring.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &ChunkKey) -> bool {
+        self.pos.contains_key(key)
+    }
+
+    /// Inserts `key` with an initial clock value. Panics if already present.
+    pub fn insert(&mut self, key: ChunkKey, clock: f64) {
+        let prev = self.pos.insert(key, self.keys.len());
+        assert!(prev.is_none(), "key already in ring");
+        self.keys.push(key);
+        self.clocks.push(clock.clamp(0.0, MAX_CLOCK));
+    }
+
+    /// Removes `key` if present; returns whether it was there.
+    pub fn remove(&mut self, key: &ChunkKey) -> bool {
+        let Some(i) = self.pos.remove(key) else {
+            return false;
+        };
+        self.keys.swap_remove(i);
+        self.clocks.swap_remove(i);
+        if i < self.keys.len() {
+            self.pos.insert(self.keys[i], i);
+        }
+        if self.hand >= self.keys.len() {
+            self.hand = 0;
+        }
+        true
+    }
+
+    /// Refreshes `key`'s clock to at least `clock` (a cache hit).
+    pub fn touch(&mut self, key: &ChunkKey, clock: f64) {
+        if let Some(&i) = self.pos.get(key) {
+            self.clocks[i] = self.clocks[i].max(clock.clamp(0.0, MAX_CLOCK));
+        }
+    }
+
+    /// Adds `amount` to `key`'s clock (the two-level policy's group boost).
+    pub fn boost(&mut self, key: &ChunkKey, amount: f64) {
+        if let Some(&i) = self.pos.get(key) {
+            self.clocks[i] = (self.clocks[i] + amount.max(0.0)).min(MAX_CLOCK);
+        }
+    }
+
+    /// The current clock value of `key`, if present (for tests/inspection).
+    pub fn clock_of(&self, key: &ChunkKey) -> Option<f64> {
+        self.pos.get(key).map(|&i| self.clocks[i])
+    }
+
+    /// Sweeps for a victim, skipping entries for which `skip` returns true
+    /// (pinned chunks). Decrements the clocks it passes over. Returns the
+    /// victim key *without removing it* — callers remove via
+    /// [`ClockRing::remove`] after processing.
+    pub fn find_victim(&mut self, mut skip: impl FnMut(&ChunkKey) -> bool) -> Option<ChunkKey> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let n = self.keys.len();
+        // Every visit decrements a clock, and clocks are ≤ MAX_CLOCK, so a
+        // bounded number of full passes suffices unless everything is
+        // skipped.
+        let max_visits = n * ((MAX_CLOCK / SWEEP_DECREMENT) as usize + 2);
+        let mut skipped_all_pass = 0usize;
+        for _ in 0..max_visits {
+            if self.hand >= n {
+                self.hand = 0;
+            }
+            let key = self.keys[self.hand];
+            if skip(&key) {
+                self.hand = (self.hand + 1) % n;
+                skipped_all_pass += 1;
+                if skipped_all_pass >= n {
+                    // One full pass where everything was pinned.
+                    return None;
+                }
+                continue;
+            }
+            skipped_all_pass = 0;
+            if self.clocks[self.hand] <= 0.0 {
+                return Some(key);
+            }
+            self.clocks[self.hand] -= SWEEP_DECREMENT;
+            self.hand = (self.hand + 1) % n;
+        }
+        // All clocks must have reached zero by now; take the first
+        // non-skipped entry.
+        let start = self.hand;
+        for off in 0..n {
+            let i = (start + off) % n;
+            if !skip(&self.keys[i]) {
+                return Some(self.keys[i]);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the keys currently in the ring (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &ChunkKey> {
+        self.keys.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_schema::GroupById;
+
+    fn k(i: u64) -> ChunkKey {
+        ChunkKey::new(GroupById(0), i)
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 1.0);
+        r.insert(k(2), 2.0);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&k(1)));
+        assert!(r.remove(&k(1)));
+        assert!(!r.remove(&k(1)));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&k(2)));
+    }
+
+    #[test]
+    fn victim_is_lowest_clock_first() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 3.0);
+        r.insert(k(2), 0.0);
+        r.insert(k(3), 5.0);
+        let v = r.find_victim(|_| false).unwrap();
+        assert_eq!(v, k(2));
+    }
+
+    #[test]
+    fn sweep_decrements_until_victim() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 2.0);
+        r.insert(k(2), 1.0);
+        // k2 runs out first (after the sweep decrements both).
+        let v = r.find_victim(|_| false).unwrap();
+        assert_eq!(v, k(2));
+        r.remove(&v);
+        let v2 = r.find_victim(|_| false).unwrap();
+        assert_eq!(v2, k(1));
+    }
+
+    #[test]
+    fn skip_respects_pins() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 0.0);
+        r.insert(k(2), 0.0);
+        let v = r.find_victim(|key| *key == k(1)).unwrap();
+        assert_eq!(v, k(2));
+        // Everything pinned → no victim.
+        assert!(r.find_victim(|_| true).is_none());
+    }
+
+    #[test]
+    fn boost_extends_survival() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 1.0);
+        r.insert(k(2), 1.0);
+        r.boost(&k(1), 10.0);
+        let v = r.find_victim(|_| false).unwrap();
+        assert_eq!(v, k(2));
+    }
+
+    #[test]
+    fn touch_refreshes_clock() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 1.0);
+        r.insert(k(2), 3.0);
+        r.touch(&k(1), 8.0);
+        let v = r.find_victim(|_| false).unwrap();
+        assert_eq!(v, k(2));
+    }
+
+    #[test]
+    fn clocks_are_clamped() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 1e12);
+        assert_eq!(r.clock_of(&k(1)), Some(MAX_CLOCK));
+        r.boost(&k(1), 1e12);
+        assert_eq!(r.clock_of(&k(1)), Some(MAX_CLOCK));
+    }
+
+    #[test]
+    fn empty_ring_has_no_victim() {
+        let mut r = ClockRing::new();
+        assert!(r.find_victim(|_| false).is_none());
+    }
+
+    #[test]
+    fn remove_fixes_hand_and_positions() {
+        let mut r = ClockRing::new();
+        for i in 0..5 {
+            r.insert(k(i), f64::from(i as u32));
+        }
+        // Advance the hand a bit.
+        let _ = r.find_victim(|_| false);
+        r.remove(&k(0));
+        r.remove(&k(4));
+        // All remaining keys still reachable and consistent.
+        let mut left: Vec<u64> = r.keys().map(|key| key.chunk).collect();
+        left.sort_unstable();
+        assert_eq!(left, vec![1, 2, 3]);
+        for i in [1u64, 2, 3] {
+            assert!(r.contains(&k(i)));
+        }
+        assert!(r.find_victim(|_| false).is_some());
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Errors raised while constructing chunkings or addressing chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// Requested chunk counts must be given for every level of a dimension.
+    BadChunkCountArity {
+        /// Dimension name.
+        dim: String,
+        /// Number of levels in the dimension.
+        expected: usize,
+        /// Number of chunk counts supplied.
+        got: usize,
+    },
+    /// A level must have at least one chunk and at most one chunk per value.
+    BadChunkCount {
+        /// Dimension name.
+        dim: String,
+        /// Level.
+        level: usize,
+        /// Requested number of chunks.
+        requested: u32,
+        /// Cardinality of the level.
+        cardinality: u32,
+    },
+    /// The closure property forces at least as many chunks at a detailed
+    /// level as there are chunks at the level above it.
+    InfeasibleChunkCount {
+        /// Dimension name.
+        dim: String,
+        /// Level.
+        level: usize,
+        /// Requested number of chunks.
+        requested: u32,
+        /// Minimum feasible (chunks at the level above).
+        minimum: u32,
+    },
+    /// The total number of chunks at some group-by overflows `u64`.
+    TooManyChunks {
+        /// The group-by level at which the overflow occurred.
+        level: Vec<u8>,
+    },
+    /// A chunk number is out of range for its group-by.
+    ChunkOutOfRange {
+        /// The group-by level.
+        level: Vec<u8>,
+        /// The offending chunk number.
+        chunk: u64,
+        /// The number of chunks at that group-by.
+        max: u64,
+    },
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadChunkCountArity { dim, expected, got } => write!(
+                f,
+                "dimension `{dim}`: {got} chunk counts supplied, expected {expected}"
+            ),
+            Self::BadChunkCount {
+                dim,
+                level,
+                requested,
+                cardinality,
+            } => write!(
+                f,
+                "dimension `{dim}` level {level}: {requested} chunks requested for cardinality {cardinality}"
+            ),
+            Self::InfeasibleChunkCount {
+                dim,
+                level,
+                requested,
+                minimum,
+            } => write!(
+                f,
+                "dimension `{dim}` level {level}: {requested} chunks requested, closure needs at least {minimum}"
+            ),
+            Self::TooManyChunks { level } => {
+                write!(f, "chunk count overflow at group-by {level:?}")
+            }
+            Self::ChunkOutOfRange { level, chunk, max } => {
+                write!(f, "chunk {chunk} out of range at group-by {level:?} ({max} chunks)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}

@@ -1,0 +1,49 @@
+//! Chunk geometry for chunk-based OLAP caching (paper §2).
+//!
+//! The distinct values of each dimension level are divided into ranges,
+//! dividing the multi-dimensional space at every group-by into *chunks* —
+//! the unit of caching. This crate provides:
+//!
+//! * [`DimChunking`] — per-dimension, per-level chunk boundaries constructed
+//!   so that the **closure property** holds: every chunk at an aggregated
+//!   level maps to a contiguous run of chunks at the next more detailed
+//!   level, and the value ranges align exactly.
+//! * [`ChunkGrid`] — whole-schema chunk addressing: linearization of chunk
+//!   coordinates into a [`ChunkNumber`] per group-by, parent/child chunk
+//!   mapping across lattice edges (`GetParentChunkNumbers` /
+//!   `GetChildChunkNumber` from the paper), and descent to base-level chunk
+//!   ranges for backend scans.
+//! * [`ChunkData`] — a compact structure-of-arrays container for the cells
+//!   of one or more chunks.
+
+#![warn(missing_docs)]
+
+mod data;
+mod dimchunk;
+mod error;
+mod grid;
+
+pub use data::{ChunkData, ChunkDataBuilder, PAPER_TUPLE_BYTES};
+pub use dimchunk::DimChunking;
+pub use error::ChunkError;
+pub use grid::{ChunkGrid, LevelGeometry};
+
+/// A chunk's linearized index within one group-by (row-major over the
+/// per-dimension chunk coordinates).
+pub type ChunkNumber = u64;
+
+/// A globally unique chunk address: group-by id plus chunk number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChunkKey {
+    /// The group-by the chunk belongs to.
+    pub gb: aggcache_schema::GroupById,
+    /// The chunk's linearized number within that group-by.
+    pub chunk: ChunkNumber,
+}
+
+impl ChunkKey {
+    /// Convenience constructor.
+    pub fn new(gb: aggcache_schema::GroupById, chunk: ChunkNumber) -> Self {
+        Self { gb, chunk }
+    }
+}

@@ -1,0 +1,824 @@
+use crate::lookup::{lookup, ComputationPlan, LookupStats, Strategy};
+use crate::{execute_plan, CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
+use aggcache_cache::{ChunkCache, Origin, PolicyKind};
+use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
+use aggcache_schema::{GroupById, Level};
+use aggcache_store::{Backend, StoreError};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the middle-tier cache manager.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerConfig {
+    /// The cache-lookup algorithm.
+    pub strategy: Strategy,
+    /// The replacement policy.
+    pub policy: PolicyKind,
+    /// Cache budget in accounting bytes (20 bytes/tuple, as in the paper).
+    pub cache_bytes: usize,
+    /// Virtual microseconds charged per tuple aggregated in the cache.
+    /// Together with the backend cost model's ≈4 µs/tuple + per-query
+    /// overhead, the default of 0.5 µs reproduces the paper's observed ≈8×
+    /// advantage of in-cache aggregation (§7.1).
+    pub cache_per_tuple_us: f64,
+    /// Virtual microseconds charged per lattice node visited during
+    /// lookup. Node visits and tuple aggregations are both small
+    /// memory-bound operations; the default of 0.2 µs (≈0.4× the
+    /// aggregation rate) reproduces the magnitude of the paper's Table 4
+    /// speedups and Figure 10 breakdown on its 1997 hardware.
+    pub lookup_per_node_us: f64,
+    /// Virtual microseconds charged per count/cost table cell written.
+    pub update_per_write_us: f64,
+    /// Whether the two-level policy's group clock-boost is applied when a
+    /// group of chunks computes an aggregate (§6.3 rule 2). On by default;
+    /// disabling it is an ablation knob.
+    pub group_boost: bool,
+    /// Storage layout of the count/cost tables: dense per-chunk arrays
+    /// (the paper's Table 3 accounting) or sparse maps holding only
+    /// non-default cells (the paper's suggested optimization).
+    pub table_kind: crate::TableKind,
+    /// Cost-based cache-vs-backend arbitration (paper §5.2: VCMC "can
+    /// return the least cost of computing a chunk instantaneously … very
+    /// useful for a cost-based optimizer, which can then decide whether to
+    /// aggregate in the cache or go to the backend"). When enabled, a
+    /// computable chunk is still fetched from the backend if the modeled
+    /// backend cost (e.g. served from a materialized aggregate) undercuts
+    /// the in-cache aggregation cost. Off by default — the paper's main
+    /// experiments always aggregate in cache when possible.
+    pub optimizer: bool,
+}
+
+impl ManagerConfig {
+    /// A config with the given strategy/policy/budget and the default
+    /// aggregation rate.
+    pub fn new(strategy: Strategy, policy: PolicyKind, cache_bytes: usize) -> Self {
+        Self {
+            strategy,
+            policy,
+            cache_bytes,
+            cache_per_tuple_us: 0.5,
+            lookup_per_node_us: 0.2,
+            update_per_write_us: 1.0,
+            group_boost: true,
+            table_kind: crate::TableKind::Dense,
+            optimizer: false,
+        }
+    }
+}
+
+/// What a cache pre-load did (paper §6.3's third rule: "pre-load the cache
+/// with a group-by that fits in the cache and has the maximum number of
+/// descendents in the lattice").
+#[derive(Debug, Clone)]
+pub struct PreloadReport {
+    /// The chosen group-by.
+    pub gb: GroupById,
+    /// Its level tuple.
+    pub level: Level,
+    /// Number of lattice descendants (the maximized quantity).
+    pub descendants: u64,
+    /// Chunks loaded.
+    pub chunks: u64,
+    /// Accounting bytes loaded.
+    pub bytes: usize,
+    /// Virtual backend cost of the load.
+    pub virtual_ms: f64,
+}
+
+enum Tables {
+    None,
+    Counts(CountTable),
+    Costs(CostTable),
+}
+
+impl Tables {
+    fn on_insert(&mut self, key: ChunkKey, size: u32) {
+        match self {
+            Tables::None => {}
+            Tables::Counts(t) => {
+                t.on_insert(key);
+            }
+            Tables::Costs(t) => {
+                t.on_insert(key, size);
+            }
+        }
+    }
+
+    fn on_evict(&mut self, key: ChunkKey) {
+        match self {
+            Tables::None => {}
+            Tables::Counts(t) => {
+                t.on_evict(key);
+            }
+            Tables::Costs(t) => {
+                t.on_evict(key);
+            }
+        }
+    }
+
+    /// Total table-cell writes so far (0 when no table is maintained).
+    fn updates(&self) -> u64 {
+        match self {
+            Tables::None => 0,
+            Tables::Counts(t) => t.updates(),
+            Tables::Costs(t) => t.updates(),
+        }
+    }
+}
+
+/// The middle-tier query processor: an *active cache* in front of the
+/// backend database (paper §2, §7).
+///
+/// For each query the manager probes the cache chunk by chunk, partitions
+/// the chunks into direct hits / computable-by-aggregation / missing,
+/// aggregates the computable ones from cached data, fetches the missing
+/// ones from the backend in one batched call, and admits new chunks under
+/// the configured replacement policy — keeping the virtual-count (VCM) or
+/// cost (VCMC) tables consistent across every insertion and eviction.
+pub struct CacheManager {
+    backend: Backend,
+    grid: Arc<ChunkGrid>,
+    cache: ChunkCache,
+    tables: Tables,
+    config: ManagerConfig,
+    session: SessionMetrics,
+}
+
+impl CacheManager {
+    /// Creates a manager over `backend` with the given configuration.
+    pub fn new(backend: Backend, config: ManagerConfig) -> Self {
+        let grid = backend.grid().clone();
+        let tables = match config.strategy {
+            Strategy::Vcm => Tables::Counts(CountTable::with_kind(grid.clone(), config.table_kind)),
+            Strategy::Vcmc => Tables::Costs(CostTable::with_kind(grid.clone(), config.table_kind)),
+            _ => Tables::None,
+        };
+        Self {
+            cache: ChunkCache::new(config.cache_bytes, config.policy),
+            grid,
+            backend,
+            tables,
+            config,
+            session: SessionMetrics::default(),
+        }
+    }
+
+    /// The chunk grid.
+    pub fn grid(&self) -> &Arc<ChunkGrid> {
+        &self.grid
+    }
+
+    /// The backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// The cache (read access).
+    pub fn cache(&self) -> &ChunkCache {
+        &self.cache
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
+    }
+
+    /// The VCM count table, when the strategy maintains one.
+    pub fn counts(&self) -> Option<&CountTable> {
+        match &self.tables {
+            Tables::Counts(t) => Some(t),
+            Tables::Costs(t) => Some(t.counts()),
+            Tables::None => None,
+        }
+    }
+
+    /// The VCMC cost table, when the strategy maintains one.
+    pub fn costs(&self) -> Option<&CostTable> {
+        match &self.tables {
+            Tables::Costs(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Session-level metric aggregates.
+    pub fn session(&self) -> &SessionMetrics {
+        &self.session
+    }
+
+    /// Clears session metrics (e.g. after warm-up).
+    pub fn reset_session(&mut self) {
+        self.session = SessionMetrics::default();
+    }
+
+    /// Runs one cache lookup without executing anything — the probe used by
+    /// the paper's Table 1 lookup-time experiment.
+    pub fn lookup_chunk(&self, key: ChunkKey, stats: &mut LookupStats) -> Option<ComputationPlan> {
+        let (counts, costs) = match &self.tables {
+            Tables::Counts(t) => (Some(t), None),
+            Tables::Costs(t) => (Some(t.counts()), Some(t)),
+            Tables::None => (None, None),
+        };
+        lookup(self.config.strategy, &self.cache, &self.grid, counts, costs, key, stats)
+    }
+
+    /// Inserts a chunk (fetched or computed elsewhere) into the cache,
+    /// propagating table updates for the insert and any evictions.
+    /// Returns whether it was admitted and the wall-clock nanoseconds spent
+    /// on count/cost maintenance (the paper's Table 2 "update time").
+    pub fn insert_chunk(
+        &mut self,
+        key: ChunkKey,
+        data: ChunkData,
+        origin: Origin,
+        benefit: f64,
+    ) -> (bool, u64) {
+        self.admit_chunk(key, data, origin, benefit)
+    }
+
+    /// The single admission path: inserts into the cache and keeps the
+    /// count/cost tables consistent — including the replace case (a key
+    /// already cached counts as an eviction of the old entry, otherwise its
+    /// count would be incremented twice and never return to zero).
+    fn admit_chunk(
+        &mut self,
+        key: ChunkKey,
+        data: ChunkData,
+        origin: Origin,
+        benefit: f64,
+    ) -> (bool, u64) {
+        let t = Instant::now();
+        let replacing = self.cache.contains(&key);
+        if replacing {
+            self.tables.on_evict(key);
+        }
+        let size = data.len() as u32;
+        let outcome = self.cache.insert(key, data, origin, benefit);
+        for evicted in &outcome.evicted {
+            self.tables.on_evict(*evicted);
+        }
+        if outcome.admitted {
+            self.tables.on_insert(key, size);
+        }
+        (outcome.admitted, t.elapsed().as_nanos() as u64)
+    }
+
+    /// Removes a chunk explicitly (test/experiment support), propagating
+    /// table updates. Returns the table-maintenance nanoseconds.
+    pub fn evict_chunk(&mut self, key: ChunkKey) -> u64 {
+        if self.cache.remove(&key) {
+            let t = Instant::now();
+            self.tables.on_evict(key);
+            t.elapsed().as_nanos() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Pre-loads the cache per the two-level policy: the group-by with the
+    /// most lattice descendants whose estimated size fits the budget
+    /// (among group-bys the backend can answer). Returns `None` when
+    /// nothing fits.
+    pub fn preload_best(&mut self) -> Result<Option<PreloadReport>, StoreError> {
+        let lattice = self.grid.schema().lattice().clone();
+        let schema = self.grid.schema().clone();
+        let fact_gb = self.backend.fact().gb();
+        let n_facts = self.backend.fact().num_tuples();
+        let budget = self.cache.budget_bytes() as u64;
+        let mut best: Option<(u64, u64, GroupById)> = None;
+        for gb in lattice.iter_ids_under(fact_gb) {
+            let level = lattice.level_of(gb);
+            let est_bytes =
+                schema.estimated_distinct_cells(&level, n_facts) * PAPER_TUPLE_BYTES as u64;
+            if est_bytes > budget {
+                continue;
+            }
+            let desc = lattice.descendant_count(gb);
+            // Maximize descendants; tie-break towards the larger (more
+            // detailed, more useful) group-by.
+            if best.is_none_or(|(bd, be, _)| desc > bd || (desc == bd && est_bytes > be)) {
+                best = Some((desc, est_bytes, gb));
+            }
+        }
+        let Some((descendants, _, gb)) = best else {
+            return Ok(None);
+        };
+        Ok(Some(self.preload_group_by(gb, descendants)?))
+    }
+
+    /// Pre-loads every chunk of an explicitly chosen group-by from the
+    /// backend (the two-level policy's heuristic choice is
+    /// [`CacheManager::preload_best`]; this entry point supports the
+    /// pre-loading ablation).
+    pub fn preload_group_by(
+        &mut self,
+        gb: GroupById,
+        descendants: u64,
+    ) -> Result<PreloadReport, StoreError> {
+        let fetch = self.backend.fetch_group_by(gb)?;
+        let n = fetch.chunks.len().max(1);
+        let per_chunk_benefit = fetch.virtual_ms / n as f64;
+        let mut bytes = 0usize;
+        let mut loaded = 0u64;
+        for (chunk, data) in fetch.chunks {
+            let b = data.accounting_bytes();
+            let (admitted, _) =
+                self.insert_chunk(ChunkKey::new(gb, chunk), data, Origin::Backend, per_chunk_benefit);
+            if admitted {
+                bytes += b;
+                loaded += 1;
+            }
+        }
+        Ok(PreloadReport {
+            gb,
+            level: self.grid.geom(gb).level().to_vec(),
+            descendants,
+            chunks: loaded,
+            bytes,
+            virtual_ms: fetch.virtual_ms,
+        })
+    }
+
+    /// Executes a query through the active cache.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, StoreError> {
+        let mut metrics = QueryMetrics::default();
+        let n_dims = self.grid.num_dims();
+        let writes_before = self.tables.updates();
+
+        // Phase 1: probe every chunk (paper: partition into answerable /
+        // missing).
+        let t_lookup = Instant::now();
+        let mut plans: Vec<ComputationPlan> = Vec::new();
+        let mut missing: Vec<u64> = Vec::new();
+        for &chunk in &query.chunks {
+            let key = ChunkKey::new(query.gb, chunk);
+            let mut stats = LookupStats::default();
+            match self.lookup_chunk(key, &mut stats) {
+                Some(plan) => plans.push(plan),
+                None => missing.push(chunk),
+            }
+            metrics.lookup_nodes += stats.nodes_visited;
+        }
+        metrics.lookup_ns = t_lookup.elapsed().as_nanos() as u64;
+
+        // Cost-based arbitration (§5.2): computable chunks whose in-cache
+        // aggregation would cost more than the backend's marginal price are
+        // demoted to backend fetches. The per-query overhead is charged
+        // only when this query wouldn't hit the backend anyway.
+        if self.config.optimizer {
+            let mut will_fetch = !missing.is_empty();
+            let cost_model = *self.backend.cost_model();
+            let per_tuple_us = self.config.cache_per_tuple_us;
+            plans.retain(|plan| {
+                if plan.direct_hit {
+                    return true;
+                }
+                let cache_ms = plan.cost as f64 * per_tuple_us / 1000.0;
+                let Some(scan) = self.backend.estimate_scan(query.gb, &[plan.target.chunk])
+                else {
+                    return true;
+                };
+                let marginal = cost_model.per_tuple_us * scan as f64 / 1000.0;
+                let overhead = if will_fetch { 0.0 } else { cost_model.per_query_ms };
+                if cache_ms > marginal + overhead {
+                    missing.push(plan.target.chunk);
+                    will_fetch = true;
+                    metrics.chunks_demoted += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+
+        // Pin every plan leaf: inserting computed chunks mid-query must not
+        // evict the inputs of a later plan.
+        for plan in &plans {
+            for leaf in &plan.leaves {
+                self.cache.pin(*leaf);
+            }
+        }
+
+        let mut result = ChunkData::new(n_dims);
+
+        // Phase 2: answer from the cache (direct hits + aggregations).
+        for plan in &plans {
+            if plan.direct_hit {
+                metrics.chunks_hit += 1;
+                if let Some(entry) = self.cache.get(&plan.target) {
+                    result.append(&entry.data);
+                }
+            } else {
+                metrics.chunks_computed += 1;
+                let t_agg = Instant::now();
+                let (data, tuples) =
+                    execute_plan(&self.grid, &self.cache, self.backend.agg(), plan);
+                metrics.agg_ns += t_agg.elapsed().as_nanos() as u64;
+                metrics.tuples_aggregated += tuples;
+                let benefit_ms = tuples as f64 * self.config.cache_per_tuple_us / 1000.0;
+                metrics.agg_virtual_ms += benefit_ms;
+                result.append(&data);
+                // Two-level policy: reward the group that made this
+                // aggregation possible (§6.3, rule 2).
+                if self.config.group_boost {
+                    self.cache.boost_group(plan.leaves.iter(), benefit_ms);
+                }
+                for leaf in &plan.leaves {
+                    let _ = self.cache.get(leaf); // LRU touch
+                }
+                // Benefit of the computed chunk, per policy. Two-level:
+                // the aggregation cost (§6.1 — it can be reproduced from
+                // its still-cached inputs). Plain benefit / LRU baselines
+                // (\[DRSN98\]): the *backend* recomputation cost — which
+                // is what makes aggregated computed chunks displace
+                // detailed base chunks there, the weakness the two-level
+                // policy fixes (§7.2's Fig. 7 discussion).
+                let benefit = match self.config.policy {
+                    PolicyKind::TwoLevel => benefit_ms,
+                    _ => {
+                        let (per_query, marginal) = self
+                            .backend
+                            .estimate_fetch_ms(query.gb, &[plan.target.chunk])
+                            .unwrap_or((0.0, benefit_ms));
+                        per_query + marginal
+                    }
+                };
+                let (_, update_ns) = self.admit_chunk(plan.target, data, Origin::Computed, benefit);
+                metrics.update_ns += update_ns;
+            }
+        }
+
+        for plan in &plans {
+            for leaf in &plan.leaves {
+                self.cache.unpin(leaf);
+            }
+        }
+
+        // Phase 3: one batched backend query for everything missing.
+        if !missing.is_empty() {
+            metrics.chunks_missed = missing.len();
+            let fetch = self.backend.fetch(query.gb, &missing)?;
+            metrics.backend_virtual_ms += fetch.virtual_ms;
+            metrics.backend_tuples += fetch.tuples_scanned;
+            let per_chunk_benefit = fetch.virtual_ms / missing.len() as f64;
+            for (chunk, data) in fetch.chunks {
+                result.append(&data);
+                let key = ChunkKey::new(query.gb, chunk);
+                let (_, update_ns) =
+                    self.admit_chunk(key, data, Origin::Backend, per_chunk_benefit);
+                metrics.update_ns += update_ns;
+            }
+        }
+
+        metrics.complete_hit = missing.is_empty();
+        metrics.table_writes = self.tables.updates() - writes_before;
+        self.finish_metrics(&mut metrics);
+        Ok(QueryResult {
+            data: result,
+            metrics,
+        })
+    }
+
+    /// Executes a semantic value-range query: normalizes it to chunks,
+    /// runs it through the active cache, and filters the result cells to
+    /// the exact ranges.
+    pub fn execute_values(&mut self, query: &crate::ValueQuery) -> Result<QueryResult, StoreError> {
+        let chunk_query = query.to_chunk_query(&self.grid.clone());
+        let result = self.execute(&chunk_query)?;
+        Ok(QueryResult {
+            data: query.filter(&result.data),
+            metrics: result.metrics,
+        })
+    }
+
+    fn finish_metrics(&mut self, metrics: &mut QueryMetrics) {
+        metrics.lookup_virtual_ms =
+            metrics.lookup_nodes as f64 * self.config.lookup_per_node_us / 1000.0;
+        metrics.update_virtual_ms =
+            metrics.table_writes as f64 * self.config.update_per_write_us / 1000.0;
+        self.session.record(metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_store::{AggFn, BackendCostModel, FactTable};
+    use aggcache_schema::{Dimension, Schema};
+
+    fn make_backend() -> Backend {
+        let schema = Arc::new(
+            Schema::new(
+                vec![
+                    Dimension::balanced("x", vec![1, 2, 8]).unwrap(),
+                    Dimension::flat("y", 4).unwrap(),
+                ],
+                "m",
+            )
+            .unwrap(),
+        );
+        let grid = Arc::new(ChunkGrid::build(schema, &[vec![1, 2, 4], vec![1, 2]]).unwrap());
+        let base = grid.schema().lattice().base();
+        let mut cells = ChunkData::new(2);
+        for x in 0..8u32 {
+            for y in 0..4u32 {
+                cells.push(&[x, y], f64::from(x + y * 10));
+            }
+        }
+        Backend::new(
+            FactTable::load(grid, base, cells),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        )
+    }
+
+    fn manager(strategy: Strategy) -> CacheManager {
+        let backend = make_backend();
+        CacheManager::new(
+            backend,
+            ManagerConfig::new(strategy, PolicyKind::TwoLevel, usize::MAX >> 1),
+        )
+    }
+
+    fn oracle(mgr: &CacheManager, q: &Query) -> ChunkData {
+        let mut all = ChunkData::new(mgr.grid().num_dims());
+        for (_, data) in mgr.backend().fetch(q.gb, &q.chunks).unwrap().chunks {
+            all.append(&data);
+        }
+        all.sort_by_coords();
+        all
+    }
+
+    fn run_and_check(mgr: &mut CacheManager, q: &Query) -> QueryMetrics {
+        let expected = oracle(mgr, q);
+        let mut r = mgr.execute(q).unwrap();
+        r.data.sort_by_coords();
+        assert_eq!(r.data, expected, "wrong answer for {q:?}");
+        r.metrics
+    }
+
+    #[test]
+    fn first_query_misses_second_hits() {
+        for strategy in [Strategy::NoAggregation, Strategy::Esm, Strategy::Vcm, Strategy::Vcmc] {
+            let mut mgr = manager(strategy);
+            let base = mgr.grid().schema().lattice().base();
+            let q = Query::new(base, vec![0, 1, 2]);
+            let m1 = run_and_check(&mut mgr, &q);
+            assert_eq!(m1.chunks_missed, 3);
+            assert!(!m1.complete_hit);
+            let m2 = run_and_check(&mut mgr, &q);
+            assert_eq!(m2.chunks_hit, 3);
+            assert!(m2.complete_hit);
+            assert_eq!(m2.backend_virtual_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn rollup_after_base_is_complete_hit_with_aggregation() {
+        for strategy in [Strategy::Esm, Strategy::Vcm, Strategy::Vcmc] {
+            let mut mgr = manager(strategy);
+            let lattice = mgr.grid().schema().lattice().clone();
+            let base = lattice.base();
+            let top = lattice.top();
+            let grid = mgr.grid().clone();
+            run_and_check(&mut mgr, &Query::full_group_by(&grid, base));
+            let m = run_and_check(&mut mgr, &Query::full_group_by(&grid, top));
+            assert!(m.complete_hit, "{strategy:?}");
+            assert_eq!(m.chunks_computed, 1);
+            assert!(m.tuples_aggregated > 0);
+        }
+    }
+
+    #[test]
+    fn no_aggregation_goes_to_backend_for_rollups() {
+        let mut mgr = manager(Strategy::NoAggregation);
+        let lattice = mgr.grid().schema().lattice().clone();
+        let grid = mgr.grid().clone();
+        run_and_check(&mut mgr, &Query::full_group_by(&grid, lattice.base()));
+        let m = run_and_check(&mut mgr, &Query::full_group_by(&grid, lattice.top()));
+        assert!(!m.complete_hit);
+        assert_eq!(m.chunks_missed, 1);
+    }
+
+    #[test]
+    fn computed_chunks_are_cached_for_reuse() {
+        let mut mgr = manager(Strategy::Vcmc);
+        let lattice = mgr.grid().schema().lattice().clone();
+        let grid = mgr.grid().clone();
+        run_and_check(&mut mgr, &Query::full_group_by(&grid, lattice.base()));
+        let top_q = Query::full_group_by(&grid, lattice.top());
+        let m1 = run_and_check(&mut mgr, &top_q);
+        assert_eq!(m1.chunks_computed, 1);
+        // Second time: the computed chunk is a direct hit.
+        let m2 = run_and_check(&mut mgr, &top_q);
+        assert_eq!(m2.chunks_hit, 1);
+        assert_eq!(m2.chunks_computed, 0);
+    }
+
+    #[test]
+    fn tables_stay_consistent_under_eviction_pressure() {
+        let backend = make_backend();
+        // Tiny cache: 8 tuples worth of space → constant eviction churn.
+        let mut mgr = CacheManager::new(
+            backend,
+            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 8 * PAPER_TUPLE_BYTES),
+        );
+        let lattice = mgr.grid().schema().lattice().clone();
+        let ids: Vec<GroupById> = lattice.iter_ids().collect();
+        for (i, &gb) in ids.iter().cycle().take(40).enumerate() {
+            let q = Query::new(gb, vec![(i as u64) % mgr.grid().n_chunks(gb)]);
+            let _ = run_and_check(&mut mgr, &q);
+        }
+        // Cross-check the cost table against a rebuild from cache contents.
+        let cached: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+        let reference = CountTable::rebuild_from(mgr.grid().clone(), |k| cached.contains(&k));
+        mgr.counts().unwrap().assert_same(&reference);
+    }
+
+    #[test]
+    fn preload_best_picks_fitting_group_by() {
+        let backend = make_backend();
+        // Budget that fits the whole base (32 tuples = 640 bytes).
+        let mut mgr = CacheManager::new(
+            backend,
+            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 1000),
+        );
+        let report = mgr.preload_best().unwrap().unwrap();
+        let base = mgr.grid().schema().lattice().base();
+        assert_eq!(report.gb, base, "base has the most descendants and fits");
+        // Everything is now a complete hit.
+        let top = mgr.grid().schema().lattice().top();
+        let m = mgr.execute(&Query::full_group_by(&mgr.grid().clone(), top)).unwrap();
+        assert!(m.metrics.complete_hit);
+    }
+
+    #[test]
+    fn preload_respects_budget() {
+        let backend = make_backend();
+        // Budget too small for the base (needs 640), fits (1,1) (8 cells ≤
+        // 12 estimated) or similar.
+        let mut mgr = CacheManager::new(
+            backend,
+            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 300),
+        );
+        let report = mgr.preload_best().unwrap().unwrap();
+        assert!(report.bytes <= 300, "{report:?}");
+        let base = mgr.grid().schema().lattice().base();
+        assert_ne!(report.gb, base);
+    }
+
+    #[test]
+    fn session_metrics_accumulate() {
+        let mut mgr = manager(Strategy::Vcm);
+        let base = mgr.grid().schema().lattice().base();
+        let _ = mgr.execute(&Query::new(base, vec![0])).unwrap();
+        let _ = mgr.execute(&Query::new(base, vec![0])).unwrap();
+        assert_eq!(mgr.session().queries, 2);
+        assert_eq!(mgr.session().complete_hits, 1);
+        mgr.reset_session();
+        assert_eq!(mgr.session().queries, 0);
+    }
+
+    #[test]
+    fn optimizer_demotes_expensive_plans_to_backend() {
+        // Backend with a materialized aggregate at the exact query level:
+        // the backend answers the top from 1 tuple, while the cache's best
+        // plan aggregates the whole cached base. With an expensive
+        // in-cache rate, the optimizer must go to the backend.
+        let plain = make_backend();
+        let lattice = plain.grid().schema().lattice().clone();
+        let top = lattice.top();
+        let backend = Backend::new(
+            plain.fact().clone(),
+            aggcache_store::AggFn::Sum,
+            aggcache_store::BackendCostModel {
+                per_query_ms: 0.1,
+                per_tuple_us: 1.0,
+                per_result_tuple_us: 0.0,
+            },
+        )
+        .with_materialized(&[top])
+        .unwrap();
+        let mut config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
+        config.cache_per_tuple_us = 50.0; // busy middle tier
+        config.optimizer = true;
+        let mut mgr = CacheManager::new(backend, config);
+        let grid = mgr.grid().clone();
+        mgr.execute(&Query::full_group_by(&grid, lattice.base())).unwrap();
+        let m = mgr.execute(&Query::full_group_by(&grid, top)).unwrap().metrics;
+        assert_eq!(m.chunks_demoted, 1, "plan should be demoted");
+        assert_eq!(m.chunks_missed, 1);
+        assert!(!m.complete_hit);
+        // With the optimizer off, the same chunk is computed in cache.
+        let plain2 = make_backend();
+        let backend2 = Backend::new(
+            plain2.fact().clone(),
+            aggcache_store::AggFn::Sum,
+            aggcache_store::BackendCostModel::default(),
+        )
+        .with_materialized(&[top])
+        .unwrap();
+        let mut config2 = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
+        config2.cache_per_tuple_us = 50.0;
+        config2.optimizer = false;
+        let mut mgr2 = CacheManager::new(backend2, config2);
+        mgr2.execute(&Query::full_group_by(&grid, lattice.base())).unwrap();
+        let m2 = mgr2.execute(&Query::full_group_by(&grid, top)).unwrap().metrics;
+        assert_eq!(m2.chunks_demoted, 0);
+        assert_eq!(m2.chunks_computed, 1);
+        assert!(m2.complete_hit);
+    }
+
+    #[test]
+    fn optimizer_keeps_cheap_plans_in_cache() {
+        // Default rates: in-cache aggregation is ~8x cheaper, so nothing
+        // is demoted and results still match the oracle.
+        let backend = make_backend();
+        let mut config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
+        config.optimizer = true;
+        let mut mgr = CacheManager::new(backend, config);
+        let lattice = mgr.grid().schema().lattice().clone();
+        let grid = mgr.grid().clone();
+        run_and_check(&mut mgr, &Query::full_group_by(&grid, lattice.base()));
+        let m = run_and_check(&mut mgr, &Query::full_group_by(&grid, lattice.top()));
+        assert_eq!(m.chunks_demoted, 0);
+        assert!(m.complete_hit);
+    }
+
+    #[test]
+    fn replacement_keeps_counts_consistent() {
+        // Regression: re-inserting an already-cached chunk (duplicate
+        // chunks in one query, or pre-loading after queries) must not
+        // double-increment counts.
+        let mut mgr = manager(Strategy::Vcm);
+        let grid = mgr.grid().clone();
+        let lattice = grid.schema().lattice().clone();
+        let base = lattice.base();
+        // Duplicate chunk in a single query.
+        let _ = run_and_check(&mut mgr, &Query::new(base, vec![0, 0, 1]));
+        // Pre-load after the cache already holds chunks of the same level.
+        let _ = mgr.preload_best().unwrap();
+        let cached: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+        let reference = CountTable::rebuild_from(grid.clone(), |k| cached.contains(&k));
+        mgr.counts().unwrap().assert_same(&reference);
+        // Evicting everything returns every count to zero.
+        for key in cached {
+            mgr.evict_chunk(key);
+        }
+        let empty = CountTable::new(grid);
+        mgr.counts().unwrap().assert_same(&empty);
+    }
+
+    #[test]
+    fn sparse_tables_answer_identically() {
+        let mk = |kind| {
+            let mut config =
+                ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
+            config.table_kind = kind;
+            CacheManager::new(make_backend(), config)
+        };
+        let mut dense = mk(crate::TableKind::Dense);
+        let mut sparse = mk(crate::TableKind::Sparse);
+        let lattice = dense.grid().schema().lattice().clone();
+        let grid = dense.grid().clone();
+        for gb in lattice.iter_ids() {
+            let q = Query::new(gb, vec![0]);
+            let a = dense.execute(&q).unwrap();
+            let b = sparse.execute(&q).unwrap();
+            assert_eq!(a.data, b.data);
+            assert_eq!(a.metrics.complete_hit, b.metrics.complete_hit);
+        }
+        let _ = grid;
+        // Table contents agree exactly.
+        dense
+            .counts()
+            .unwrap()
+            .assert_same(sparse.counts().unwrap());
+    }
+
+    #[test]
+    fn empty_chunk_results_are_negative_cached() {
+        let schema = Arc::new(
+            Schema::new(vec![Dimension::flat("x", 4).unwrap()], "m").unwrap(),
+        );
+        let grid = Arc::new(ChunkGrid::build(schema, &[vec![1, 4]]).unwrap());
+        let base = grid.schema().lattice().base();
+        let mut cells = ChunkData::new(1);
+        cells.push(&[0], 5.0);
+        let backend = Backend::new(
+            FactTable::load(grid, base, cells),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        );
+        let mut mgr = CacheManager::new(
+            backend,
+            ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, 10_000),
+        );
+        // Chunk 3 is empty; first query fetches it, second hits the cached
+        // empty chunk.
+        let m1 = mgr.execute(&Query::new(base, vec![3])).unwrap().metrics;
+        assert_eq!(m1.chunks_missed, 1);
+        let m2 = mgr.execute(&Query::new(base, vec![3])).unwrap().metrics;
+        assert!(m2.complete_hit);
+        assert_eq!(m2.chunks_hit, 1);
+    }
+}

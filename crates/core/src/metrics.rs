@@ -1,0 +1,174 @@
+/// Per-query cost breakdown, mirroring the paper's Figure 10 split into
+/// cache lookup time, aggregation time and (count/cost) update time, plus
+/// the backend portion.
+///
+/// Real wall-clock nanoseconds are recorded for the algorithmic components
+/// (lookup, aggregation, table updates); the backend contributes *virtual*
+/// milliseconds from its cost model. [`QueryMetrics::total_ms`] combines
+/// both using the manager's virtual aggregation rate, keeping end-to-end
+/// numbers deterministic and hardware-independent.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueryMetrics {
+    /// Wall-clock time spent deciding hit/computable/miss for every chunk.
+    pub lookup_ns: u64,
+    /// Wall-clock time spent aggregating cached chunks.
+    pub agg_ns: u64,
+    /// Wall-clock time spent maintaining count/cost tables (inserts and
+    /// evictions triggered by this query).
+    pub update_ns: u64,
+    /// Virtual milliseconds charged by the backend cost model.
+    pub backend_virtual_ms: f64,
+    /// Virtual milliseconds charged for in-cache aggregation
+    /// (`tuples_aggregated × rate`).
+    pub agg_virtual_ms: f64,
+    /// Virtual milliseconds charged for cache lookups
+    /// (`lookup_nodes × rate`). Calibrated so that one lattice-node visit
+    /// costs about twice a tuple aggregation, matching the relation between
+    /// the paper's Table 1 lookup times and its aggregation throughput.
+    pub lookup_virtual_ms: f64,
+    /// Virtual milliseconds charged for count/cost table maintenance
+    /// (`table_writes × rate`).
+    pub update_virtual_ms: f64,
+    /// Count/cost table cells written by this query's inserts/evictions.
+    pub table_writes: u64,
+    /// Chunks answered directly from the cache.
+    pub chunks_hit: usize,
+    /// Chunks computed by aggregating cached chunks.
+    pub chunks_computed: usize,
+    /// Chunks fetched from the backend.
+    pub chunks_missed: usize,
+    /// Computable chunks the cost-based optimizer demoted to backend
+    /// fetches because the backend was cheaper (counted within
+    /// `chunks_missed` as well).
+    pub chunks_demoted: usize,
+    /// Tuples aggregated in the cache.
+    pub tuples_aggregated: u64,
+    /// Base tuples scanned by the backend.
+    pub backend_tuples: u64,
+    /// Lookup nodes visited across all probes of this query.
+    pub lookup_nodes: u64,
+    /// Whether the query was a *complete hit*: answered entirely from the
+    /// cache, directly or by aggregation (paper §7.2).
+    pub complete_hit: bool,
+}
+
+impl QueryMetrics {
+    /// End-to-end virtual execution time in milliseconds: the sum of the
+    /// four virtual components. Fully deterministic and hardware-
+    /// independent; the `*_ns` fields carry the real measured times.
+    pub fn total_ms(&self) -> f64 {
+        self.backend_virtual_ms
+            + self.agg_virtual_ms
+            + self.lookup_virtual_ms
+            + self.update_virtual_ms
+    }
+}
+
+/// Running aggregates over a query session.
+#[derive(Debug, Default, Clone)]
+pub struct SessionMetrics {
+    /// Number of queries executed.
+    pub queries: u64,
+    /// Number of complete hits.
+    pub complete_hits: u64,
+    /// Sum of per-query totals.
+    pub total_ms: f64,
+    /// Sum of lookup times.
+    pub lookup_ns: u64,
+    /// Sum of aggregation times.
+    pub agg_ns: u64,
+    /// Sum of update times.
+    pub update_ns: u64,
+    /// Sum of backend virtual costs.
+    pub backend_virtual_ms: f64,
+    /// Sum of aggregation virtual costs.
+    pub agg_virtual_ms: f64,
+    /// Sum of lookup virtual costs.
+    pub lookup_virtual_ms: f64,
+    /// Sum of update virtual costs.
+    pub update_virtual_ms: f64,
+    /// Sum of tuples aggregated in cache.
+    pub tuples_aggregated: u64,
+    /// Sum of base tuples scanned at the backend.
+    pub backend_tuples: u64,
+}
+
+impl SessionMetrics {
+    /// Folds one query's metrics into the session.
+    pub fn record(&mut self, q: &QueryMetrics) {
+        self.queries += 1;
+        self.complete_hits += u64::from(q.complete_hit);
+        self.total_ms += q.total_ms();
+        self.lookup_ns += q.lookup_ns;
+        self.agg_ns += q.agg_ns;
+        self.update_ns += q.update_ns;
+        self.backend_virtual_ms += q.backend_virtual_ms;
+        self.agg_virtual_ms += q.agg_virtual_ms;
+        self.lookup_virtual_ms += q.lookup_virtual_ms;
+        self.update_virtual_ms += q.update_virtual_ms;
+        self.tuples_aggregated += q.tuples_aggregated;
+        self.backend_tuples += q.backend_tuples;
+    }
+
+    /// Fraction of queries that were complete hits (paper Fig. 7).
+    pub fn complete_hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.complete_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean end-to-end virtual time per query (paper Figs. 8 and 9).
+    pub fn avg_ms(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_ms / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_virtual_components() {
+        let q = QueryMetrics {
+            lookup_ns: 2_000_000, // real times do not enter the total
+            backend_virtual_ms: 40.0,
+            agg_virtual_ms: 5.0,
+            lookup_virtual_ms: 2.0,
+            update_virtual_ms: 1.0,
+            ..Default::default()
+        };
+        assert!((q.total_ms() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn session_accumulates() {
+        let mut s = SessionMetrics::default();
+        s.record(&QueryMetrics {
+            complete_hit: true,
+            backend_virtual_ms: 0.0,
+            ..Default::default()
+        });
+        s.record(&QueryMetrics {
+            complete_hit: false,
+            backend_virtual_ms: 10.0,
+            ..Default::default()
+        });
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.complete_hits, 1);
+        assert!((s.complete_hit_ratio() - 0.5).abs() < 1e-9);
+        assert!((s.avg_ms() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_session_is_zero() {
+        let s = SessionMetrics::default();
+        assert_eq!(s.complete_hit_ratio(), 0.0);
+        assert_eq!(s.avg_ms(), 0.0);
+    }
+}

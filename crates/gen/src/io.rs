@@ -1,0 +1,267 @@
+//! Binary serialization of generated datasets, so expensive generations
+//! (e.g. the 1.1M-tuple APB-1 set) can be produced once and reloaded by
+//! experiment binaries. Hand-rolled little-endian format — the workspace
+//! keeps its dependency footprint to the sanctioned offline crates.
+
+use crate::Dataset;
+use aggcache_chunks::{ChunkData, ChunkGrid};
+use aggcache_schema::{Dimension, GroupById, Schema};
+use aggcache_store::FactTable;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"AGC1";
+
+/// Errors raised while reading a dataset file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an aggcache dataset file, or an incompatible version.
+    BadFormat(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadFormat(m) => write!(f, "bad dataset file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn w_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn w_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn r_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn r_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn w_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes())
+}
+
+fn r_str(r: &mut impl Read) -> Result<String, IoError> {
+    let len = r_u32(r)? as usize;
+    if len > 1 << 20 {
+        return Err(IoError::BadFormat("string too long".into()));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| IoError::BadFormat("invalid utf-8".into()))
+}
+
+fn w_u32s(w: &mut impl Write, v: &[u32]) -> io::Result<()> {
+    w_u32(w, v.len() as u32)?;
+    for &x in v {
+        w_u32(w, x)?;
+    }
+    Ok(())
+}
+
+fn r_u32s(r: &mut impl Read) -> io::Result<Vec<u32>> {
+    let len = r_u32(r)? as usize;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r_u32(r)?);
+    }
+    Ok(out)
+}
+
+/// Writes a dataset (schema, chunking, fact tuples) to `path`.
+pub fn save_dataset(dataset: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w_u32(&mut w, 1)?; // version
+
+    // Schema.
+    let schema = &dataset.schema;
+    w_str(&mut w, schema.measure())?;
+    w_u32(&mut w, schema.num_dims() as u32)?;
+    for d in 0..schema.num_dims() {
+        let dim = schema.dimension(d);
+        w_str(&mut w, dim.name())?;
+        w_u32(&mut w, dim.num_levels() as u32)?;
+        for l in 0..dim.num_levels() {
+            w_u32(&mut w, dim.cardinality(l as u8))?;
+        }
+        for l in 1..dim.num_levels() {
+            w_u32s(&mut w, dim.rollup_map(l as u8))?;
+        }
+        // Chunk counts per level.
+        let counts: Vec<u32> = (0..dim.num_levels())
+            .map(|l| dataset.grid.dim(d).n_chunks(l as u8))
+            .collect();
+        w_u32s(&mut w, &counts)?;
+    }
+
+    // Fact data.
+    w_u32(&mut w, dataset.fact_gb.0)?;
+    let fact = &dataset.fact;
+    w_u64(&mut w, fact.num_tuples())?;
+    let n_chunks = dataset.grid.n_chunks(dataset.fact_gb);
+    for chunk in 0..n_chunks {
+        for (coords, value) in fact.scan_chunk(chunk) {
+            for &c in coords {
+                w_u32(&mut w, c)?;
+            }
+            w.write_all(&value.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a dataset back from `path`.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::BadFormat("missing AGC1 magic".into()));
+    }
+    let version = r_u32(&mut r)?;
+    if version != 1 {
+        return Err(IoError::BadFormat(format!("unsupported version {version}")));
+    }
+
+    let measure = r_str(&mut r)?;
+    let n_dims = r_u32(&mut r)? as usize;
+    if n_dims == 0 || n_dims > 64 {
+        return Err(IoError::BadFormat(format!("implausible dim count {n_dims}")));
+    }
+    let mut dims = Vec::with_capacity(n_dims);
+    let mut chunk_counts = Vec::with_capacity(n_dims);
+    for _ in 0..n_dims {
+        let name = r_str(&mut r)?;
+        let n_levels = r_u32(&mut r)? as usize;
+        let mut cards = Vec::with_capacity(n_levels);
+        for _ in 0..n_levels {
+            cards.push(r_u32(&mut r)?);
+        }
+        let mut rollups = vec![Vec::new()];
+        for _ in 1..n_levels {
+            rollups.push(r_u32s(&mut r)?);
+        }
+        let dim = Dimension::new(name, cards, rollups)
+            .map_err(|e| IoError::BadFormat(format!("schema: {e}")))?;
+        dims.push(dim);
+        chunk_counts.push(r_u32s(&mut r)?);
+    }
+    let schema = Arc::new(
+        Schema::new(dims, measure).map_err(|e| IoError::BadFormat(format!("schema: {e}")))?,
+    );
+    let grid = Arc::new(
+        ChunkGrid::build(schema.clone(), &chunk_counts)
+            .map_err(|e| IoError::BadFormat(format!("grid: {e}")))?,
+    );
+
+    let fact_gb = GroupById(r_u32(&mut r)?);
+    if fact_gb.0 >= schema.lattice().num_group_bys() {
+        return Err(IoError::BadFormat("fact group-by out of range".into()));
+    }
+    let n_tuples = r_u64(&mut r)?;
+    let mut cells = ChunkData::with_capacity(n_dims, n_tuples as usize);
+    let mut coords = vec![0u32; n_dims];
+    let mut vbuf = [0u8; 8];
+    for _ in 0..n_tuples {
+        for slot in coords.iter_mut() {
+            *slot = r_u32(&mut r)?;
+        }
+        r.read_exact(&mut vbuf)?;
+        cells.push(&coords, f64::from_le_bytes(vbuf));
+    }
+
+    let fact = FactTable::load(grid.clone(), fact_gb, cells);
+    Ok(Dataset {
+        schema,
+        grid,
+        fact_gb,
+        fact,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("aggcache-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = SyntheticSpec::new()
+            .dim("a", vec![1, 3, 9], vec![1, 2, 4])
+            .dim("b", vec![1, 5], vec![1, 3])
+            .tuples(120)
+            .seed(4)
+            .build();
+        let path = tmp("roundtrip");
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(back.num_tuples(), ds.num_tuples());
+        assert_eq!(back.fact_gb, ds.fact_gb);
+        assert_eq!(back.schema.num_dims(), 2);
+        assert_eq!(back.schema.dimension(0).name(), "a");
+        assert_eq!(back.grid.total_chunk_census(), ds.grid.total_chunk_census());
+        // Tuple-for-tuple identical after chunk clustering.
+        for chunk in 0..ds.grid.n_chunks(ds.fact_gb) {
+            let a: Vec<_> = ds.fact.scan_chunk(chunk).map(|(c, v)| (c.to_vec(), v)).collect();
+            let b: Vec<_> = back.fact.scan_chunk(chunk).map(|(c, v)| (c.to_vec(), v)).collect();
+            assert_eq!(a, b, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a dataset at all").unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, IoError::BadFormat(_)));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let ds = SyntheticSpec::new()
+            .dim("a", vec![1, 4], vec![1, 2])
+            .tuples(20)
+            .build();
+        let path = tmp("trunc");
+        save_dataset(&ds, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load_dataset(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, IoError::Io(_) | IoError::BadFormat(_)));
+    }
+}

@@ -1,0 +1,455 @@
+use aggcache_chunks::ChunkData;
+use aggcache_schema::Schema;
+use std::collections::HashMap;
+
+/// A distributive aggregate function over the cube measure.
+///
+/// Distributivity is what makes in-cache aggregation legal: partial
+/// aggregates at any level combine into aggregates at any more aggregated
+/// level. `Avg` is intentionally absent — compute it as `Sum / Count` over
+/// two cubes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Sum of the measure (the paper's `sum(UnitSales)`).
+    Sum,
+    /// Count of base tuples.
+    Count,
+    /// Minimum of the measure.
+    Min,
+    /// Maximum of the measure.
+    Max,
+}
+
+impl AggFn {
+    /// Maps a *raw fact* measure into the cube's value domain: what a single
+    /// base tuple contributes.
+    #[inline]
+    pub fn lift(self, v: f64) -> f64 {
+        match self {
+            AggFn::Sum | AggFn::Min | AggFn::Max => v,
+            AggFn::Count => 1.0,
+        }
+    }
+
+    /// Combines two partial aggregates.
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            AggFn::Sum | AggFn::Count => a + b,
+            AggFn::Min => a.min(b),
+            AggFn::Max => a.max(b),
+        }
+    }
+}
+
+/// Whether input cells are raw fact tuples (to be lifted) or already-lifted
+/// cube cells (to be combined as-is).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lift {
+    /// Input values are raw fact measures.
+    Raw,
+    /// Input values are cube aggregates (e.g. cached chunks).
+    Lifted,
+}
+
+/// Composed per-dimension roll-up lookup tables from one group-by level to
+/// a more aggregated one. `None` entries are identity (level unchanged).
+#[derive(Debug)]
+pub struct Rollup {
+    maps: Vec<Option<Vec<u32>>>,
+}
+
+impl Rollup {
+    /// Builds the roll-up from `from` to `to` (`to <= from` componentwise).
+    pub fn new(schema: &Schema, from: &[u8], to: &[u8]) -> Self {
+        debug_assert_eq!(from.len(), schema.num_dims());
+        debug_assert_eq!(to.len(), schema.num_dims());
+        let maps = (0..schema.num_dims())
+            .map(|d| {
+                debug_assert!(to[d] <= from[d], "target must be more aggregated");
+                (from[d] != to[d]).then(|| schema.dimension(d).composed_rollup(from[d], to[d]))
+            })
+            .collect();
+        Self { maps }
+    }
+
+    /// Maps source coordinates to target coordinates.
+    #[inline]
+    pub fn map_into(&self, src: &[u32], dst: &mut [u32]) {
+        for (d, m) in self.maps.iter().enumerate() {
+            dst[d] = match m {
+                Some(table) => table[src[d] as usize],
+                None => src[d],
+            };
+        }
+    }
+}
+
+/// Row-major value-coordinate codec for a level, used to key the
+/// hash-aggregation map with a single `u64` when the level's cell space
+/// fits; falls back to boxed coordinate keys otherwise.
+#[derive(Debug)]
+struct Codec {
+    weights: Vec<u64>,
+    cards: Vec<u32>,
+}
+
+impl Codec {
+    fn new(schema: &Schema, level: &[u8]) -> Option<Self> {
+        let n = schema.num_dims();
+        let mut weights = vec![0u64; n];
+        let mut total: u128 = 1;
+        let cards: Vec<u32> = (0..n).map(|d| schema.dimension(d).cardinality(level[d])).collect();
+        for d in (0..n).rev() {
+            if total > u128::from(u64::MAX) {
+                return None;
+            }
+            weights[d] = total as u64;
+            total *= u128::from(cards[d]);
+        }
+        (total <= u128::from(u64::MAX)).then_some(Self { weights, cards })
+    }
+
+    #[inline]
+    fn encode(&self, coords: &[u32]) -> u64 {
+        coords
+            .iter()
+            .zip(&self.weights)
+            .map(|(&c, &w)| u64::from(c) * w)
+            .sum()
+    }
+
+    #[inline]
+    fn decode(&self, mut key: u64, out: &mut [u32]) {
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot = (key / self.weights[d]) as u32;
+            key %= self.weights[d];
+        }
+        debug_assert!(out.iter().zip(&self.cards).all(|(&c, &k)| c < k));
+    }
+}
+
+/// Streaming hash-aggregator rolling cells from arbitrary source levels up
+/// to one target level.
+///
+/// This is the aggregation kernel shared by the backend (fact tuples →
+/// requested chunks) and the cache executor (cached chunks at mixed levels →
+/// a computed chunk). Costs are linear in the number of cells added,
+/// matching the paper's §5 cost model.
+pub struct Aggregator<'s> {
+    schema: &'s Schema,
+    target: Vec<u8>,
+    agg: AggFn,
+    codec: Option<Codec>,
+    map_u64: HashMap<u64, f64>,
+    map_box: HashMap<Box<[u32]>, f64>,
+    /// Cache of composed roll-ups, keyed by source level. Streams usually
+    /// touch a handful of levels, so a linear scan beats hashing.
+    rollups: Vec<(Vec<u8>, Rollup)>,
+    cells_added: u64,
+}
+
+impl<'s> Aggregator<'s> {
+    /// Creates an aggregator producing cells at `target` with `agg`.
+    pub fn new(schema: &'s Schema, target: &[u8], agg: AggFn) -> Self {
+        Self {
+            schema,
+            target: target.to_vec(),
+            agg,
+            codec: Codec::new(schema, target),
+            map_u64: HashMap::new(),
+            map_box: HashMap::new(),
+            rollups: Vec::new(),
+            cells_added: 0,
+        }
+    }
+
+    fn rollup_for(&mut self, from: &[u8]) -> usize {
+        if let Some(i) = self.rollups.iter().position(|(l, _)| l == from) {
+            return i;
+        }
+        let r = Rollup::new(self.schema, from, &self.target);
+        self.rollups.push((from.to_vec(), r));
+        self.rollups.len() - 1
+    }
+
+    /// Adds cells at level `from`, rolling them up into the target level.
+    pub fn add<'a>(
+        &mut self,
+        from: &[u8],
+        cells: impl Iterator<Item = (&'a [u32], f64)>,
+        lift: Lift,
+    ) {
+        let ri = self.rollup_for(from);
+        let n = self.schema.num_dims();
+        let mut dst = vec![0u32; n];
+        let agg = self.agg;
+        for (coords, v) in cells {
+            let v = match lift {
+                Lift::Raw => agg.lift(v),
+                Lift::Lifted => v,
+            };
+            // The indexed re-borrow keeps the borrow checker happy while the
+            // roll-up table lives inside `self`.
+            let rollup = &self.rollups[ri].1;
+            rollup.map_into(coords, &mut dst);
+            self.cells_added += 1;
+            match &self.codec {
+                Some(c) => {
+                    let key = c.encode(&dst);
+                    self.map_u64
+                        .entry(key)
+                        .and_modify(|acc| *acc = agg.combine(*acc, v))
+                        .or_insert(v);
+                }
+                None => match self.map_box.get_mut(dst.as_slice()) {
+                    Some(acc) => *acc = agg.combine(*acc, v),
+                    None => {
+                        self.map_box.insert(dst.clone().into_boxed_slice(), v);
+                    }
+                },
+            }
+        }
+    }
+
+    /// Adds an entire [`ChunkData`].
+    pub fn add_chunk(&mut self, from: &[u8], data: &ChunkData, lift: Lift) {
+        self.add(from, data.iter(), lift);
+    }
+
+    /// Number of input cells consumed so far — the paper's aggregation cost
+    /// unit ("number of tuples aggregated").
+    pub fn cells_added(&self) -> u64 {
+        self.cells_added
+    }
+
+    /// Finishes into coordinate-sorted [`ChunkData`] at the target level.
+    pub fn finish(self) -> ChunkData {
+        let n = self.schema.num_dims();
+        match self.codec {
+            Some(codec) => {
+                let mut keys: Vec<(u64, f64)> = self.map_u64.into_iter().collect();
+                keys.sort_unstable_by_key(|&(k, _)| k);
+                let mut out = ChunkData::with_capacity(n, keys.len());
+                let mut coords = vec![0u32; n];
+                for (k, v) in keys {
+                    codec.decode(k, &mut coords);
+                    out.push(&coords, v);
+                }
+                out
+            }
+            None => {
+                let mut cells: Vec<(Box<[u32]>, f64)> = self.map_box.into_iter().collect();
+                cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                let mut out = ChunkData::with_capacity(n, cells.len());
+                for (c, v) in cells {
+                    out.push(&c, v);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// One-shot convenience: aggregates `sources` (level, cells) up to `target`.
+pub fn aggregate_to_level(
+    schema: &Schema,
+    sources: &[(&[u8], &ChunkData)],
+    target: &[u8],
+    agg: AggFn,
+    lift: Lift,
+) -> ChunkData {
+    let mut a = Aggregator::new(schema, target, agg);
+    for (level, data) in sources {
+        a.add_chunk(level, data, lift);
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_schema::Dimension;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(
+                vec![
+                    Dimension::balanced("a", vec![1, 2, 4]).unwrap(),
+                    Dimension::flat("b", 3).unwrap(),
+                ],
+                "m",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn base_cells() -> ChunkData {
+        // 4 x 3 base grid, value = a*10 + b.
+        let mut d = ChunkData::new(2);
+        for a in 0..4u32 {
+            for b in 0..3u32 {
+                d.push(&[a, b], f64::from(a * 10 + b));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn sum_to_top_matches_total() {
+        let s = schema();
+        let base = base_cells();
+        let out = aggregate_to_level(&s, &[(&[2, 1], &base)], &[0, 0], AggFn::Sum, Lift::Raw);
+        assert_eq!(out.len(), 1);
+        let total: f64 = base.raw_values().iter().sum();
+        assert_eq!(out.value_of(0), total);
+        assert_eq!(out.coords_of(0), &[0, 0]);
+    }
+
+    #[test]
+    fn partial_rollup_keeps_dimension() {
+        let s = schema();
+        let base = base_cells();
+        // Roll up dim a from level 2 (4 values) to level 1 (2 values).
+        let out = aggregate_to_level(&s, &[(&[2, 1], &base)], &[1, 1], AggFn::Sum, Lift::Raw);
+        assert_eq!(out.len(), 2 * 3);
+        // Cell (0, 0) = a in {0,1}, b = 0 → 0 + 10 = 10.
+        assert_eq!(out.coords_of(0), &[0, 0]);
+        assert_eq!(out.value_of(0), 10.0);
+        // Cell (1, 2) = a in {2,3}, b = 2 → 22 + 32 = 54.
+        let idx = (0..out.len()).find(|&i| out.coords_of(i) == [1, 2]).unwrap();
+        assert_eq!(out.value_of(idx), 54.0);
+    }
+
+    #[test]
+    fn count_lifts_tuples_to_one() {
+        let s = schema();
+        let base = base_cells();
+        let out = aggregate_to_level(&s, &[(&[2, 1], &base)], &[0, 0], AggFn::Count, Lift::Raw);
+        assert_eq!(out.value_of(0), 12.0);
+        // Combining already-lifted counts must sum them, not re-lift.
+        let half = aggregate_to_level(&s, &[(&[2, 1], &base)], &[1, 1], AggFn::Count, Lift::Raw);
+        let out2 = aggregate_to_level(&s, &[(&[1, 1], &half)], &[0, 0], AggFn::Count, Lift::Lifted);
+        assert_eq!(out2.value_of(0), 12.0);
+    }
+
+    #[test]
+    fn min_max_aggregate() {
+        let s = schema();
+        let base = base_cells();
+        let mn = aggregate_to_level(&s, &[(&[2, 1], &base)], &[0, 0], AggFn::Min, Lift::Raw);
+        let mx = aggregate_to_level(&s, &[(&[2, 1], &base)], &[0, 0], AggFn::Max, Lift::Raw);
+        assert_eq!(mn.value_of(0), 0.0);
+        assert_eq!(mx.value_of(0), 32.0);
+    }
+
+    #[test]
+    fn two_step_equals_one_step() {
+        let s = schema();
+        let base = base_cells();
+        let mid = aggregate_to_level(&s, &[(&[2, 1], &base)], &[1, 1], AggFn::Sum, Lift::Raw);
+        let two = aggregate_to_level(&s, &[(&[1, 1], &mid)], &[0, 1], AggFn::Sum, Lift::Lifted);
+        let one = aggregate_to_level(&s, &[(&[2, 1], &base)], &[0, 1], AggFn::Sum, Lift::Raw);
+        assert_eq!(two, one);
+    }
+
+    #[test]
+    fn mixed_level_sources_combine() {
+        let s = schema();
+        let base = base_cells();
+        // Split base into two halves, roll one up first, then combine both
+        // straight to the top — mimics a mixed-level computation path.
+        let mut lo = ChunkData::new(2);
+        let mut hi = ChunkData::new(2);
+        for (c, v) in base.iter() {
+            if c[0] < 2 {
+                lo.push(c, v);
+            } else {
+                hi.push(c, v);
+            }
+        }
+        let hi_rolled = aggregate_to_level(&s, &[(&[2, 1], &hi)], &[1, 1], AggFn::Sum, Lift::Raw);
+        let mut a = Aggregator::new(&s, &[0, 0], AggFn::Sum);
+        a.add_chunk(&[2, 1], &lo, Lift::Raw);
+        a.add_chunk(&[1, 1], &hi_rolled, Lift::Lifted);
+        let out = a.finish();
+        let total: f64 = base.raw_values().iter().sum();
+        assert_eq!(out.value_of(0), total);
+        assert_eq!(a_cells(&out), 1);
+    }
+
+    fn a_cells(d: &ChunkData) -> usize {
+        d.len()
+    }
+
+    #[test]
+    fn cells_added_counts_inputs() {
+        let s = schema();
+        let base = base_cells();
+        let mut a = Aggregator::new(&s, &[0, 0], AggFn::Sum);
+        a.add_chunk(&[2, 1], &base, Lift::Raw);
+        assert_eq!(a.cells_added(), 12);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let s = schema();
+        let a = Aggregator::new(&s, &[0, 0], AggFn::Sum);
+        assert_eq!(a.cells_added(), 0);
+        let out = a.finish();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn identity_level_keeps_cells() {
+        let s = schema();
+        let base = base_cells();
+        let out = aggregate_to_level(&s, &[(&[2, 1], &base)], &[2, 1], AggFn::Sum, Lift::Raw);
+        assert_eq!(out.len(), base.len());
+        let total_in: f64 = base.raw_values().iter().sum();
+        let total_out: f64 = out.raw_values().iter().sum();
+        assert_eq!(total_in, total_out);
+    }
+
+    #[test]
+    fn rollup_identity_maps_pass_through() {
+        let s = schema();
+        let r = Rollup::new(&s, &[2, 1], &[2, 1]);
+        let mut dst = [9u32, 9];
+        r.map_into(&[3, 2], &mut dst);
+        assert_eq!(dst, [3, 2]);
+        // Mixed: only dim 0 rolls up.
+        let r = Rollup::new(&s, &[2, 1], &[1, 1]);
+        r.map_into(&[3, 2], &mut dst);
+        assert_eq!(dst[1], 2);
+        assert_eq!(dst[0], s.dimension(0).ancestor_value(2, 1, 3));
+    }
+
+    #[test]
+    fn min_of_negative_values() {
+        let s = schema();
+        let mut d = ChunkData::new(2);
+        d.push(&[0, 0], -5.0);
+        d.push(&[1, 0], 3.0);
+        let out = aggregate_to_level(&s, &[(&[2, 1], &d)], &[0, 0], AggFn::Min, Lift::Raw);
+        assert_eq!(out.value_of(0), -5.0);
+    }
+
+    #[test]
+    fn output_is_sorted_by_coords() {
+        let s = schema();
+        let mut d = ChunkData::new(2);
+        d.push(&[3, 2], 1.0);
+        d.push(&[0, 0], 1.0);
+        d.push(&[1, 2], 1.0);
+        let out = aggregate_to_level(&s, &[(&[2, 1], &d)], &[2, 1], AggFn::Sum, Lift::Raw);
+        let mut prev: Option<Vec<u32>> = None;
+        for (c, _) in out.iter() {
+            if let Some(p) = &prev {
+                assert!(p.as_slice() < c);
+            }
+            prev = Some(c.to_vec());
+        }
+    }
+}

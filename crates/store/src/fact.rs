@@ -1,0 +1,216 @@
+use aggcache_chunks::{ChunkData, ChunkGrid, ChunkNumber};
+use aggcache_schema::GroupById;
+use std::sync::Arc;
+
+/// The base fact table with the paper's *chunked file organization*:
+/// tuples sorted (clustered) by chunk number, with an offset index mapping
+/// each chunk to its tuple run — the in-memory analogue of "building a
+/// clustered index on the chunk number for the fact file" (§7).
+///
+/// The table lives at a fixed group-by — for APB-1, HistSale lives at
+/// `(6, 2, 3, 1, 0)`: detailed in Product/Customer/Time/Channel, fully
+/// aggregated in Scenario.
+#[derive(Debug, Clone)]
+pub struct FactTable {
+    grid: Arc<ChunkGrid>,
+    gb: GroupById,
+    data: ChunkData,
+    /// `offsets[c] .. offsets[c + 1]` is the tuple range of chunk `c`.
+    offsets: Vec<u64>,
+}
+
+impl FactTable {
+    /// Loads raw fact tuples (value coordinates at `gb`'s level) and
+    /// clusters them by chunk number. Duplicate coordinates are kept as
+    /// separate tuples, as in a real fact table.
+    pub fn load(grid: Arc<ChunkGrid>, gb: GroupById, cells: ChunkData) -> Self {
+        let geom = grid.geom(gb);
+        let level = geom.level().to_vec();
+        let n_dims = grid.num_dims();
+        let n_chunks = geom.total_chunks();
+
+        // Chunk number per tuple via the per-dimension value→chunk tables.
+        let tables: Vec<&[u32]> = (0..n_dims)
+            .map(|d| grid.dim(d).chunk_of_table(level[d]))
+            .collect();
+        let mut chunk_nums: Vec<u64> = Vec::with_capacity(cells.len());
+        let mut chunk_coords = vec![0u32; n_dims];
+        for i in 0..cells.len() {
+            let c = cells.coords_of(i);
+            for d in 0..n_dims {
+                chunk_coords[d] = tables[d][c[d] as usize];
+            }
+            chunk_nums.push(geom.linearize(&chunk_coords));
+        }
+
+        // Counting sort by chunk number (stable, O(n + chunks)).
+        let mut counts = vec![0u64; n_chunks as usize + 1];
+        for &cn in &chunk_nums {
+            counts[cn as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut sorted = ChunkData::with_capacity(n_dims, cells.len());
+        // Build a permutation rather than moving cells twice.
+        let mut order = vec![0u64; cells.len()];
+        let mut cursor = counts;
+        for (i, &cn) in chunk_nums.iter().enumerate() {
+            order[cursor[cn as usize] as usize] = i as u64;
+            cursor[cn as usize] += 1;
+        }
+        for &i in &order {
+            sorted.push(cells.coords_of(i as usize), cells.value_of(i as usize));
+        }
+
+        Self {
+            grid,
+            gb,
+            data: sorted,
+            offsets,
+        }
+    }
+
+    /// The group-by the fact data lives at.
+    #[inline]
+    pub fn gb(&self) -> GroupById {
+        self.gb
+    }
+
+    /// The grid this table is chunked under.
+    #[inline]
+    pub fn grid(&self) -> &Arc<ChunkGrid> {
+        &self.grid
+    }
+
+    /// Total number of tuples.
+    #[inline]
+    pub fn num_tuples(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Number of tuples in `chunk`.
+    #[inline]
+    pub fn tuples_in(&self, chunk: ChunkNumber) -> u64 {
+        self.offsets[chunk as usize + 1] - self.offsets[chunk as usize]
+    }
+
+    /// Iterates the `(coords, value)` tuples of `chunk`.
+    pub fn scan_chunk(&self, chunk: ChunkNumber) -> impl Iterator<Item = (&[u32], f64)> + '_ {
+        let lo = self.offsets[chunk as usize] as usize;
+        let hi = self.offsets[chunk as usize + 1] as usize;
+        (lo..hi).map(move |i| (self.data.coords_of(i), self.data.value_of(i)))
+    }
+
+    /// Iterates tuples of several chunks in order.
+    pub fn scan_chunks<'a>(
+        &'a self,
+        chunks: &'a [ChunkNumber],
+    ) -> impl Iterator<Item = (&'a [u32], f64)> + 'a {
+        chunks.iter().flat_map(move |&c| self.scan_chunk(c))
+    }
+
+    /// All chunk numbers that contain at least one tuple.
+    pub fn non_empty_chunks(&self) -> Vec<ChunkNumber> {
+        (0..self.offsets.len() - 1)
+            .filter(|&c| self.offsets[c + 1] > self.offsets[c])
+            .map(|c| c as ChunkNumber)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_schema::{Dimension, Schema};
+
+    fn grid() -> Arc<ChunkGrid> {
+        let schema = Arc::new(
+            Schema::new(
+                vec![
+                    Dimension::balanced("a", vec![1, 2, 8]).unwrap(),
+                    Dimension::flat("b", 4).unwrap(),
+                ],
+                "m",
+            )
+            .unwrap(),
+        );
+        Arc::new(ChunkGrid::build(schema, &[vec![1, 2, 4], vec![1, 2]]).unwrap())
+    }
+
+    fn table() -> FactTable {
+        let grid = grid();
+        let base = grid.schema().lattice().base();
+        let mut cells = ChunkData::new(2);
+        // Insert in scrambled order; value encodes the coords.
+        for a in (0..8u32).rev() {
+            for b in 0..4u32 {
+                cells.push(&[a, b], f64::from(a * 100 + b));
+            }
+        }
+        FactTable::load(grid, base, cells)
+    }
+
+    #[test]
+    fn clusters_by_chunk() {
+        let t = table();
+        assert_eq!(t.num_tuples(), 32);
+        let geom = t.grid().geom(t.gb());
+        // Every chunk's tuples map back to that chunk.
+        for c in 0..geom.total_chunks() {
+            for (coords, _) in t.scan_chunk(c) {
+                let a_chunk = t.grid().dim(0).chunk_of_value(2, coords[0]);
+                let b_chunk = t.grid().dim(1).chunk_of_value(1, coords[1]);
+                assert_eq!(geom.linearize(&[a_chunk, b_chunk]), c);
+            }
+        }
+        let total: u64 = (0..geom.total_chunks()).map(|c| t.tuples_in(c)).sum();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn scan_chunks_concatenates() {
+        let t = table();
+        let n: usize = t.scan_chunks(&[0, 1]).count();
+        assert_eq!(n as u64, t.tuples_in(0) + t.tuples_in(1));
+    }
+
+    #[test]
+    fn keeps_duplicate_tuples() {
+        let grid = grid();
+        let base = grid.schema().lattice().base();
+        let mut cells = ChunkData::new(2);
+        cells.push(&[0, 0], 1.0);
+        cells.push(&[0, 0], 2.0);
+        let t = FactTable::load(grid, base, cells);
+        assert_eq!(t.num_tuples(), 2);
+        assert_eq!(t.tuples_in(0), 2);
+    }
+
+    #[test]
+    fn non_empty_chunks_lists_filled_only() {
+        let grid = grid();
+        let base = grid.schema().lattice().base();
+        let mut cells = ChunkData::new(2);
+        cells.push(&[7, 3], 1.0); // last chunk only
+        let t = FactTable::load(grid, base, cells);
+        let geom = t.grid().geom(t.gb());
+        assert_eq!(t.non_empty_chunks(), vec![geom.total_chunks() - 1]);
+    }
+
+    #[test]
+    fn fact_table_at_non_base_level() {
+        // Data can live above the lattice bottom (the HistSale situation).
+        let grid = grid();
+        let gb = grid.schema().lattice().id_of(&[2, 0]).unwrap();
+        let mut cells = ChunkData::new(2);
+        for a in 0..8u32 {
+            cells.push(&[a, 0], 1.0);
+        }
+        let t = FactTable::load(grid.clone(), gb, cells);
+        assert_eq!(t.num_tuples(), 8);
+        assert_eq!(grid.n_chunks(gb), 4);
+        assert_eq!(t.tuples_in(0), 2);
+    }
+}

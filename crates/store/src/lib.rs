@@ -1,0 +1,20 @@
+//! Data plane for aggregate-aware caching: the base fact table with its
+//! chunked file organization, the roll-up aggregation kernel, and the
+//! simulated backend database.
+//!
+//! The paper's experiments ran against a commercial RDBMS on a separate
+//! machine; we replace it with an in-process [`Backend`] that executes the
+//! same chunked scans over a [`FactTable`] and charges *virtual* costs
+//! through a configurable [`BackendCostModel`], preserving the paper's
+//! observed ≈8× gap between backend fetches and in-cache aggregation while
+//! keeping experiments deterministic and fast.
+
+#![warn(missing_docs)]
+
+mod aggregate;
+mod backend;
+mod fact;
+
+pub use aggregate::{aggregate_to_level, AggFn, Aggregator, Lift, Rollup};
+pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
+pub use fact::FactTable;

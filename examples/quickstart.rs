@@ -1,0 +1,90 @@
+//! Quickstart: build a small cube, run queries through the active cache,
+//! and watch chunks get answered from the backend, the cache, and — the
+//! point of the paper — by *aggregating* cached chunks.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use aggcache::prelude::*;
+
+fn main() {
+    // A small retail-ish cube: product (3-level hierarchy) × store.
+    let dataset = SyntheticSpec::new()
+        .dim("product", vec![1, 4, 16, 64], vec![1, 2, 4, 8])
+        .dim("store", vec![1, 6, 24], vec![1, 3, 6])
+        .tuples(20_000)
+        .seed(7)
+        .build();
+
+    let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
+    let mut manager = CacheManager::new(
+        backend,
+        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 2 * 1024 * 1024),
+    );
+    let grid = manager.grid().clone();
+    let lattice = grid.schema().lattice().clone();
+
+    println!("lattice: {} group-bys, {} chunks across all levels\n",
+        lattice.num_group_bys(),
+        grid.total_chunk_census());
+
+    // 1. A detailed query over the whole base: nothing cached yet → all
+    //    chunks fetched from the backend (one batched SQL statement).
+    let base = lattice.base();
+    let q1 = Query::full_group_by(&grid, base);
+    let r1 = manager.execute(&q1).unwrap();
+    println!(
+        "Q1 detail query     : {} cells | hits {} computed {} missed {} | {:.1} ms",
+        r1.data.len(),
+        r1.metrics.chunks_hit,
+        r1.metrics.chunks_computed,
+        r1.metrics.chunks_missed,
+        r1.metrics.total_ms()
+    );
+
+    // 2. The same query again: a complete hit.
+    let r2 = manager.execute(&q1).unwrap();
+    println!(
+        "Q2 repeat           : {} cells | hits {} computed {} missed {} | {:.1} ms",
+        r2.data.len(),
+        r2.metrics.chunks_hit,
+        r2.metrics.chunks_computed,
+        r2.metrics.chunks_missed,
+        r2.metrics.total_ms()
+    );
+
+    // 3. A roll-up over the same data: never fetched, but the active cache
+    //    *computes* it from the cached detail chunks.
+    let rolled = lattice.id_of(&[2, 1]).unwrap();
+    let q3 = Query::from_region(&grid, rolled, &[(0, 2), (0, 2)]);
+    let r3 = manager.execute(&q3).unwrap();
+    println!(
+        "Q3 roll-up          : {} cells | hits {} computed {} missed {} | {:.1} ms  (complete hit: {})",
+        r3.data.len(),
+        r3.metrics.chunks_hit,
+        r3.metrics.chunks_computed,
+        r3.metrics.chunks_missed,
+        r3.metrics.total_ms(),
+        r3.metrics.complete_hit
+    );
+
+    // 4. The grand total — computable too, and VCMC knows the cheapest way
+    //    before doing any work.
+    let top = lattice.top();
+    let key = ChunkKey::new(top, 0);
+    if let Some(cost) = manager.costs().and_then(|c| c.cost(key)) {
+        println!("\nVCMC says the grand total is computable by aggregating {cost} cached tuples");
+    }
+    let r4 = manager.execute(&Query::full_group_by(&grid, top)).unwrap();
+    println!(
+        "Q4 grand total      : value {:.0} | computed from cache: {}",
+        r4.data.value_of(0),
+        r4.metrics.complete_hit
+    );
+
+    println!(
+        "\nsession: {} queries, {} complete hits, avg {:.1} ms",
+        manager.session().queries,
+        manager.session().complete_hits,
+        manager.session().avg_ms()
+    );
+}

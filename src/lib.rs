@@ -1,0 +1,79 @@
+//! # aggcache — Aggregate Aware Caching for Multi-Dimensional Queries
+//!
+//! A Rust implementation of Deshpande & Naughton's EDBT 2000 paper:
+//! a chunk-based OLAP middle-tier cache that answers queries not only from
+//! chunks it holds, but by **aggregating cached chunks** across the
+//! group-by lattice — with the paper's four lookup algorithms (ESM, ESMC,
+//! VCM, VCMC), virtual-count and cost-table maintenance, and the two-level
+//! replacement policy.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use aggcache::prelude::*;
+//!
+//! // A small synthetic cube: 2 dimensions, data at the lattice base.
+//! let dataset = SyntheticSpec::new()
+//!     .dim("product", vec![1, 3, 12], vec![1, 3, 6])
+//!     .dim("store", vec![1, 8], vec![1, 4])
+//!     .tuples(500)
+//!     .build();
+//!
+//! let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
+//! let mut manager = CacheManager::new(
+//!     backend,
+//!     ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 64 * 1024),
+//! );
+//!
+//! // First query: chunks come from the backend and are cached.
+//! let grid = manager.grid().clone();
+//! let base = grid.schema().lattice().base();
+//! let q = Query::full_group_by(&grid, base);
+//! let r1 = manager.execute(&q).unwrap();
+//! assert!(!r1.metrics.complete_hit);
+//!
+//! // A roll-up query: never fetched, but computable from the cache.
+//! let top = grid.schema().lattice().top();
+//! let r2 = manager.execute(&Query::full_group_by(&grid, top)).unwrap();
+//! assert!(r2.metrics.complete_hit);
+//! assert_eq!(r2.metrics.chunks_computed, 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`schema`] | dimensions, hierarchies, the group-by lattice |
+//! | [`chunks`] | chunk geometry, closure property, chunk data |
+//! | [`store`] | fact table, aggregation kernel, simulated backend |
+//! | [`gen`] | APB-1-like and synthetic schema/data generation |
+//! | [`cache`] | byte-budgeted chunk cache, benefit & two-level policies |
+//! | [`core`] | ESM/ESMC/VCM/VCMC lookup, count/cost tables, manager |
+//! | [`workload`] | drill-down/roll-up/proximity/random query streams |
+
+#![warn(missing_docs)]
+
+pub mod avg;
+
+pub use aggcache_cache as cache;
+pub use aggcache_chunks as chunks;
+pub use aggcache_core as core;
+pub use aggcache_gen as gen;
+pub use aggcache_schema as schema;
+pub use aggcache_store as store;
+pub use aggcache_workload as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use aggcache_cache::{CachedChunk, ChunkCache, Origin, PolicyKind};
+    pub use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, ChunkNumber, PAPER_TUPLE_BYTES};
+    pub use aggcache_core::{
+        CacheManager, ComputationPlan, CostTable, CountTable, LookupStats, ManagerConfig,
+        PreloadReport, Query, QueryMetrics, QueryResult, SessionMetrics, Strategy, TableKind,
+        ValueQuery,
+    };
+    pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
+    pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
+    pub use aggcache_store::{AggFn, Backend, BackendCostModel, FactTable, Lift};
+    pub use aggcache_workload::{QueryKind, QueryMix, QueryStream, WorkloadConfig};
+}

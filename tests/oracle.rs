@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: every lookup strategy, run over a real
+//! query stream, must return exactly the answers a brute-force oracle
+//! computes from the raw fact table.
+
+use aggcache::prelude::*;
+
+/// Answers a query by scanning every fact tuple and rolling up by hand —
+/// independent of all chunk/cache machinery except the grid geometry used
+/// to select the requested chunks.
+fn oracle_answer(dataset_grid: &ChunkGrid, backend: &Backend, q: &Query) -> ChunkData {
+    let mut out = ChunkData::new(dataset_grid.num_dims());
+    for (_, data) in backend.fetch(q.gb, &q.chunks).unwrap().chunks {
+        out.append(&data);
+    }
+    out.sort_by_coords();
+    out
+}
+
+fn stream_against_oracle(strategy: Strategy, policy: PolicyKind, cache_bytes: usize) {
+    let dataset = SyntheticSpec::new()
+        .dim("a", vec![1, 3, 9, 27], vec![1, 2, 4, 8])
+        .dim("b", vec![1, 4, 12], vec![1, 2, 4])
+        .dim("c", vec![1, 5], vec![1, 3])
+        .tuples(4_000)
+        .seed(17)
+        .build();
+    let grid = dataset.grid.clone();
+    let oracle_backend = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
+    let backend = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
+    let mut manager = CacheManager::new(backend, ManagerConfig::new(strategy, policy, cache_bytes));
+
+    let max_level = grid.schema().base_level();
+    let mut stream = QueryStream::new(grid.clone(), WorkloadConfig::paper(max_level, 99));
+    for i in 0..120 {
+        let (q, kind) = stream.next_with_kind();
+        let expected = oracle_answer(&grid, &oracle_backend, &q);
+        let mut got = manager.execute(&q).unwrap();
+        got.data.sort_by_coords();
+        assert_eq!(
+            got.data, expected,
+            "strategy {strategy:?} policy {policy:?} query #{i} ({kind:?}) {q:?}"
+        );
+    }
+}
+
+#[test]
+fn no_aggregation_matches_oracle() {
+    stream_against_oracle(Strategy::NoAggregation, PolicyKind::Benefit, 64 * 1024);
+}
+
+#[test]
+fn esm_matches_oracle() {
+    stream_against_oracle(Strategy::Esm, PolicyKind::TwoLevel, 64 * 1024);
+}
+
+#[test]
+fn esmc_matches_oracle() {
+    stream_against_oracle(
+        Strategy::Esmc {
+            node_budget: Some(200_000),
+        },
+        PolicyKind::TwoLevel,
+        64 * 1024,
+    );
+}
+
+#[test]
+fn vcm_matches_oracle() {
+    stream_against_oracle(Strategy::Vcm, PolicyKind::TwoLevel, 64 * 1024);
+}
+
+#[test]
+fn vcmc_matches_oracle() {
+    stream_against_oracle(Strategy::Vcmc, PolicyKind::TwoLevel, 64 * 1024);
+}
+
+#[test]
+fn vcmc_matches_oracle_under_heavy_eviction() {
+    // A cache that holds only a handful of chunks: constant churn.
+    stream_against_oracle(Strategy::Vcmc, PolicyKind::TwoLevel, 4 * 1024);
+    stream_against_oracle(Strategy::Vcmc, PolicyKind::Benefit, 4 * 1024);
+}
+
+#[test]
+fn vcm_matches_oracle_under_heavy_eviction() {
+    stream_against_oracle(Strategy::Vcm, PolicyKind::TwoLevel, 4 * 1024);
+}
+
+#[test]
+fn aggregate_functions_agree_with_oracle() {
+    // Each aggregate function end-to-end: fetch base, compute the top.
+    for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max] {
+        let dataset = SyntheticSpec::new()
+            .dim("a", vec![1, 2, 6], vec![1, 2, 3])
+            .dim("b", vec![1, 4], vec![1, 2])
+            .tuples(300)
+            .seed(5)
+            .build();
+        let grid = dataset.grid.clone();
+        let backend = Backend::new(dataset.fact.clone(), agg, BackendCostModel::default());
+        let expected = backend
+            .fetch(grid.schema().lattice().top(), &[0])
+            .unwrap()
+            .chunks
+            .remove(0)
+            .1;
+        let backend2 = Backend::new(dataset.fact.clone(), agg, BackendCostModel::default());
+        let mut manager = CacheManager::new(
+            backend2,
+            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1),
+        );
+        let base_q = Query::full_group_by(&grid, grid.schema().lattice().base());
+        manager.execute(&base_q).unwrap();
+        let top_q = Query::full_group_by(&grid, grid.schema().lattice().top());
+        let r = manager.execute(&top_q).unwrap();
+        assert!(r.metrics.complete_hit, "{agg:?} must aggregate in cache");
+        assert_eq!(r.data, expected, "{agg:?}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the cache's replacement invariants.
+
+use aggcache::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+fn key(gb: u32, chunk: u64) -> ChunkKey {
+    ChunkKey::new(GroupById(gb), chunk)
+}
+
+fn chunk_of(cells: usize) -> ChunkData {
+    let mut d = ChunkData::new(1);
+    for i in 0..cells {
+        d.push(&[i as u32], 1.0);
+    }
+    d
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { id: u64, cells: usize, origin: Origin, benefit: f64 },
+    Get { id: u64 },
+    Remove { id: u64 },
+    Pin { id: u64 },
+    Unpin { id: u64 },
+    Boost { id: u64, amount: f64 },
+}
+
+fn arb_op() -> impl PropStrategy<Value = Op> {
+    prop_oneof![
+        (0u64..24, 0usize..12, proptest::bool::ANY, 0.0f64..50.0).prop_map(
+            |(id, cells, backend, benefit)| Op::Insert {
+                id,
+                cells,
+                origin: if backend { Origin::Backend } else { Origin::Computed },
+                benefit,
+            }
+        ),
+        (0u64..24).prop_map(|id| Op::Get { id }),
+        (0u64..24).prop_map(|id| Op::Remove { id }),
+        (0u64..24).prop_map(|id| Op::Pin { id }),
+        (0u64..24).prop_map(|id| Op::Unpin { id }),
+        (0u64..24, 0.0f64..50.0).prop_map(|(id, amount)| Op::Boost { id, amount }),
+    ]
+}
+
+fn run_ops(policy: PolicyKind, budget: usize, ops: &[Op]) {
+    let mut cache = ChunkCache::new(budget, policy);
+    let mut pinned: std::collections::HashSet<u64> = Default::default();
+    let mut shadow: std::collections::HashMap<u64, (usize, Origin)> = Default::default();
+    for op in ops {
+        match *op {
+            Op::Insert { id, cells, origin, benefit } => {
+                let out = cache.insert(key(0, id), chunk_of(cells), origin, benefit);
+                if out.admitted {
+                    shadow.insert(id, (cells, origin));
+                } else {
+                    shadow.remove(&id); // replace-path may have dropped it
+                }
+                for ev in &out.evicted {
+                    // Invariant: evicted chunks are never pinned…
+                    assert!(!pinned.contains(&ev.chunk), "evicted a pinned chunk");
+                    let (_, evicted_origin) = shadow.remove(&ev.chunk).expect("evicted unknown chunk");
+                    // …and under two-level, a computed insert never evicts
+                    // backend chunks.
+                    if policy == PolicyKind::TwoLevel && origin == Origin::Computed {
+                        assert_eq!(evicted_origin, Origin::Computed, "computed evicted backend");
+                    }
+                }
+            }
+            Op::Get { id } => {
+                assert_eq!(cache.get(&key(0, id)).is_some(), shadow.contains_key(&id));
+            }
+            Op::Remove { id } => {
+                let was = cache.remove(&key(0, id));
+                assert_eq!(was, shadow.remove(&id).is_some());
+                pinned.remove(&id);
+            }
+            Op::Pin { id } => {
+                if shadow.contains_key(&id) {
+                    cache.pin(key(0, id));
+                    pinned.insert(id);
+                }
+            }
+            Op::Unpin { id } => {
+                cache.unpin(&key(0, id));
+                pinned.remove(&id);
+            }
+            Op::Boost { id, amount } => {
+                let keys = [key(0, id)];
+                cache.boost_group(keys.iter(), amount);
+            }
+        }
+        // Global invariants after every operation.
+        assert!(cache.used_bytes() <= budget, "budget exceeded");
+        let shadow_bytes: usize = shadow.values().map(|(c, _)| c * PAPER_TUPLE_BYTES).sum();
+        assert_eq!(cache.used_bytes(), shadow_bytes, "byte accounting drifted");
+        assert_eq!(cache.len(), shadow.len(), "entry accounting drifted");
+        for (&id, &(cells, _)) in &shadow {
+            let entry = cache.peek(&key(0, id)).expect("shadow chunk missing");
+            assert_eq!(entry.data.len(), cells);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never exceeds its budget, never evicts pinned chunks,
+    /// keeps exact byte accounting, and (two-level) never lets computed
+    /// chunks displace backend chunks — under arbitrary operation streams.
+    #[test]
+    fn cache_invariants_hold(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        budget_chunks in 1usize..16,
+    ) {
+        for policy in [PolicyKind::Lru, PolicyKind::Benefit, PolicyKind::TwoLevel] {
+            run_ops(policy, budget_chunks * 12 * PAPER_TUPLE_BYTES, &ops);
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests of the core invariants, on randomly generated
+//! schemas, chunkings and cache states.
+
+use aggcache::core::{esm, vcm, vcmc, LookupStats};
+use aggcache::prelude::*;
+use proptest::prelude::*;
+// Our `Strategy` enum (from the prelude glob) shadows proptest's trait of
+// the same name; re-import the trait under an alias.
+use proptest::strategy::Strategy as PropStrategy;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Strategy: a random small schema + aligned chunking (1-3 dims, hierarchy
+/// sizes 1-3, modest cardinalities) as a built grid.
+fn arb_grid() -> impl PropStrategy<Value = Arc<ChunkGrid>> {
+    let dim = (1u8..=3)
+        .prop_flat_map(|h| {
+            // Cardinalities grow with level; chunk counts are feasible.
+            proptest::collection::vec(1u32..=3, h as usize).prop_map(move |fanouts| {
+                let mut cards = vec![1u32];
+                for f in fanouts {
+                    let last = *cards.last().unwrap();
+                    cards.push(last * f + 1);
+                }
+                cards
+            })
+        })
+        .prop_map(|cards| {
+            let chunks: Vec<u32> = cards
+                .iter()
+                .enumerate()
+                .map(|(l, &c)| c.min(1 + l as u32).min(c))
+                .collect();
+            (cards, chunks)
+        });
+    proptest::collection::vec(dim, 1..=3).prop_map(|dims| {
+        let mut spec = SyntheticSpec::new();
+        for (i, (cards, mut chunks)) in dims.into_iter().enumerate() {
+            // Chunk counts must be non-decreasing with level.
+            for l in 1..chunks.len() {
+                chunks[l] = chunks[l].max(chunks[l - 1]);
+            }
+            spec = spec.dim(format!("d{i}"), cards, chunks);
+        }
+        spec.build_grid()
+    })
+}
+
+/// All chunk keys of a grid.
+fn all_keys(grid: &ChunkGrid) -> Vec<ChunkKey> {
+    grid.schema()
+        .lattice()
+        .iter_ids()
+        .flat_map(|gb| (0..grid.n_chunks(gb)).map(move |c| ChunkKey::new(gb, c)))
+        .collect()
+}
+
+fn cached_cell(n_dims: usize, cells: usize) -> ChunkData {
+    let mut d = ChunkData::new(n_dims);
+    for i in 0..cells {
+        d.push(&vec![i as u32; n_dims], 1.0);
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1 (paper §4): after ANY sequence of inserts and evictions,
+    /// `count > 0` iff ESM finds the chunk computable — for EVERY chunk.
+    #[test]
+    fn vcm_count_equals_esm_computability(
+        grid in arb_grid(),
+        ops in proptest::collection::vec((proptest::bool::ANY, 0usize..500), 1..40),
+    ) {
+        let keys = all_keys(&grid);
+        let mut cache = ChunkCache::new(usize::MAX >> 1, PolicyKind::Benefit);
+        let mut counts = CountTable::new(grid.clone());
+        for (insert, pick) in ops {
+            let key = keys[pick % keys.len()];
+            if insert && !cache.contains(&key) {
+                cache.insert(key, cached_cell(grid.num_dims(), 2), Origin::Backend, 1.0);
+                counts.on_insert(key);
+            } else if !insert && cache.contains(&key) {
+                cache.remove(&key);
+                counts.on_evict(key);
+            }
+        }
+        for &key in &keys {
+            let mut stats = LookupStats::default();
+            let esm_says = esm(&cache, &grid, key, &mut stats).is_some();
+            prop_assert_eq!(
+                counts.is_computable(key),
+                esm_says,
+                "Property 1 violated at {:?}", key
+            );
+        }
+    }
+
+    /// VCMC's maintained least cost equals the exhaustive oracle minimum,
+    /// and vcmc plans only reference cached chunks with total size = cost.
+    #[test]
+    fn vcmc_cost_is_exact_minimum(
+        grid in arb_grid(),
+        ops in proptest::collection::vec((proptest::bool::ANY, 0usize..500, 1u32..6), 1..30),
+    ) {
+        let keys = all_keys(&grid);
+        let mut cache = ChunkCache::new(usize::MAX >> 1, PolicyKind::Benefit);
+        let mut costs = CostTable::new(grid.clone());
+        let mut sizes: HashMap<ChunkKey, u32> = HashMap::new();
+        for (insert, pick, size) in ops {
+            let key = keys[pick % keys.len()];
+            if insert && !cache.contains(&key) {
+                cache.insert(key, cached_cell(grid.num_dims(), size as usize), Origin::Backend, 1.0);
+                costs.on_insert(key, size);
+                sizes.insert(key, size);
+            } else if !insert && cache.contains(&key) {
+                cache.remove(&key);
+                costs.on_evict(key);
+                sizes.remove(&key);
+            }
+        }
+        let oracle = CostTable::oracle_costs(&grid, |k| sizes.get(&k).copied());
+        for &key in &keys {
+            let oracle_cost = oracle[key.gb.index()][key.chunk as usize];
+            let table_cost = costs.cost(key);
+            if oracle_cost == u32::MAX {
+                prop_assert!(table_cost.is_none(), "{:?} should not be computable", key);
+            } else {
+                prop_assert_eq!(table_cost, Some(oracle_cost), "wrong cost at {:?}", key);
+                // The plan must reach exactly that cost using cached leaves.
+                let mut stats = LookupStats::default();
+                let plan = vcmc(&costs, &cache, &grid, key, &mut stats).unwrap();
+                prop_assert_eq!(plan.cost, u64::from(oracle_cost));
+                let leaf_total: u64 = plan
+                    .leaves
+                    .iter()
+                    .map(|l| u64::from(*sizes.get(l).expect("leaf must be cached")))
+                    .sum();
+                prop_assert_eq!(leaf_total, plan.cost);
+            }
+        }
+    }
+
+    /// ESM, VCM and VCMC always agree on computability, and their plans'
+    /// leaves partition the target region (verified via the executor
+    /// producing identical results).
+    #[test]
+    fn strategies_agree_and_plans_are_valid(
+        grid in arb_grid(),
+        ops in proptest::collection::vec(0usize..500, 1..25),
+    ) {
+        let keys = all_keys(&grid);
+        let mut cache = ChunkCache::new(usize::MAX >> 1, PolicyKind::Benefit);
+        let mut counts = CountTable::new(grid.clone());
+        let mut costs = CostTable::new(grid.clone());
+        for pick in ops {
+            let key = keys[pick % keys.len()];
+            if !cache.contains(&key) {
+                cache.insert(key, cached_cell(grid.num_dims(), 1), Origin::Backend, 1.0);
+                counts.on_insert(key);
+                costs.on_insert(key, 1);
+            }
+        }
+        for &key in &keys {
+            let mut s = LookupStats::default();
+            let e = esm(&cache, &grid, key, &mut s);
+            let v = vcm(&counts, &cache, &grid, key, &mut s);
+            let vc = vcmc(&costs, &cache, &grid, key, &mut s);
+            prop_assert_eq!(e.is_some(), v.is_some());
+            prop_assert_eq!(e.is_some(), vc.is_some());
+            if let (Some(pe), Some(pv), Some(pvc)) = (e, v, vc) {
+                for plan in [&pe, &pv, &pvc] {
+                    for leaf in &plan.leaves {
+                        prop_assert!(cache.contains(leaf));
+                    }
+                }
+                // Optimal cost is a lower bound on any found path's cost.
+                prop_assert!(pvc.cost <= pe.cost);
+                prop_assert!(pvc.cost <= pv.cost);
+            }
+        }
+    }
+
+    /// Lemma 1 path-count formula matches dynamic programming on random
+    /// hierarchy shapes.
+    #[test]
+    fn lemma1_holds_on_random_lattices(
+        sizes in proptest::collection::vec(1u8..=4, 1..=4),
+    ) {
+        let lattice = Lattice::new(&sizes).unwrap();
+        // DP over the lattice.
+        let mut paths: Vec<u128> = vec![0; lattice.num_group_bys() as usize];
+        let base = lattice.base();
+        paths[base.index()] = 1;
+        let mut ids: Vec<GroupById> = lattice.iter_ids().collect();
+        ids.sort_by_key(|&id| {
+            std::cmp::Reverse(lattice.level_of(id).iter().map(|&l| u32::from(l)).sum::<u32>())
+        });
+        for id in ids {
+            if id != base {
+                paths[id.index()] = lattice.parents(id).map(|(_, p)| paths[p.index()]).sum();
+            }
+            let level = lattice.level_of(id);
+            prop_assert_eq!(lattice.num_paths_to_base(&level), Some(paths[id.index()]));
+        }
+    }
+
+    /// Chunk geometry: linearize/delinearize round-trips and parent/child
+    /// mappings stay mutually consistent on random grids.
+    #[test]
+    fn chunk_geometry_round_trips(grid in arb_grid()) {
+        let lattice = grid.schema().lattice().clone();
+        for gb in lattice.iter_ids() {
+            let geom = grid.geom(gb);
+            let mut coords = vec![0u32; grid.num_dims()];
+            for chunk in 0..geom.total_chunks() {
+                geom.delinearize(chunk, &mut coords);
+                prop_assert_eq!(geom.linearize(&coords), chunk);
+                for (dim, _) in lattice.parents(gb) {
+                    let (pgb, parents) = grid.parent_chunks(gb, chunk, dim);
+                    prop_assert!(!parents.is_empty());
+                    for &p in &parents {
+                        prop_assert_eq!(grid.child_chunk(pgb, p, dim), (gb, chunk));
+                    }
+                }
+            }
+        }
+    }
+}
