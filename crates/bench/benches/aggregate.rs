@@ -39,15 +39,19 @@ fn bench_aggregate(c: &mut Criterion) {
         ("mid", vec![3, 1, 2, 0, 0]),
         ("top", vec![0, 0, 0, 0, 0]),
     ] {
-        group.bench_with_input(BenchmarkId::new("rollup_depth", name), &target, |b, target| {
-            b.iter(|| {
-                let mut a = Aggregator::new(&schema, target, AggFn::Sum);
-                for &chunk in &chunks {
-                    a.add(&fact_level, dataset.fact.scan_chunk(chunk), Lift::Raw);
-                }
-                black_box(a.finish())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("rollup_depth", name),
+            &target,
+            |b, target| {
+                b.iter(|| {
+                    let mut a = Aggregator::new(&schema, target, AggFn::Sum);
+                    for &chunk in &chunks {
+                        a.add(&fact_level, dataset.fact.scan_chunk(chunk), Lift::Raw);
+                    }
+                    black_box(a.finish())
+                })
+            },
+        );
     }
 
     group.finish();

@@ -16,7 +16,12 @@ fn bench_streams(c: &mut Criterion) {
     group.sample_size(10);
 
     for (name, strategy, policy, preload) in [
-        ("no_aggregation", Strategy::NoAggregation, PolicyKind::Benefit, false),
+        (
+            "no_aggregation",
+            Strategy::NoAggregation,
+            PolicyKind::Benefit,
+            false,
+        ),
         ("esm_two_level", Strategy::Esm, PolicyKind::TwoLevel, true),
         ("vcm_two_level", Strategy::Vcm, PolicyKind::TwoLevel, true),
         ("vcmc_two_level", Strategy::Vcmc, PolicyKind::TwoLevel, true),
@@ -34,6 +39,7 @@ fn bench_streams(c: &mut Criterion) {
                         queries: 100,
                         seed: 42,
                         group_boost: true,
+                        threads: 1,
                     },
                 ))
             })

@@ -15,7 +15,12 @@ const TUPLES: u64 = 50_000;
 fn warm(mgr: &mut CacheManager, dataset: &Dataset) {
     let fetch = mgr.backend().fetch_group_by(dataset.fact_gb).unwrap();
     for (chunk, data) in fetch.chunks {
-        mgr.insert_chunk(ChunkKey::new(dataset.fact_gb, chunk), data, Origin::Backend, 1.0);
+        mgr.insert_chunk(
+            ChunkKey::new(dataset.fact_gb, chunk),
+            data,
+            Origin::Backend,
+            1.0,
+        );
     }
 }
 
@@ -46,16 +51,12 @@ fn bench_lookup(c: &mut Criterion) {
                 if warm_cache {
                     warm(&mut mgr, &dataset);
                 }
-                group.bench_with_input(
-                    BenchmarkId::new(name, level_name),
-                    &gb,
-                    |b, &gb| {
-                        b.iter(|| {
-                            let mut stats = LookupStats::default();
-                            black_box(mgr.lookup_chunk(black_box(ChunkKey::new(gb, 0)), &mut stats))
-                        })
-                    },
-                );
+                group.bench_with_input(BenchmarkId::new(name, level_name), &gb, |b, &gb| {
+                    b.iter(|| {
+                        let mut stats = LookupStats::default();
+                        black_box(mgr.lookup_chunk(black_box(ChunkKey::new(gb, 0)), &mut stats))
+                    })
+                });
             }
         }
         group.finish();

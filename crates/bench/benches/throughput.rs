@@ -1,0 +1,107 @@
+//! Throughput of the batched probe/aggregate pipeline: queries per second
+//! of [`CacheManager::execute_batch`] at 1, 2, 4 and 8 worker threads on a
+//! computable-hit-heavy stream.
+//!
+//! Setup: the cache is pre-loaded with the two-level policy's best
+//! group-by, then every query is a full group-by at a coarser lattice
+//! level — a complete hit answered purely by in-cache aggregation, with a
+//! plan large enough (≥ `PARALLEL_MIN_COST` cells in total) to engage the
+//! sharded executor. Because the cache is full of backend-origin chunks,
+//! the two-level policy refuses the computed chunks' admissions, so the
+//! cache state — and therefore the measured work — is identical on every
+//! iteration.
+
+use aggcache_bench::rig::{apb_dataset, backend_for, MB};
+use aggcache_cache::PolicyKind;
+use aggcache_core::{CacheManager, ManagerConfig, Query, Strategy, PARALLEL_MIN_COST};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const BATCH: usize = 16;
+
+/// The accounting bytes the two-level preload actually loads under a
+/// generous budget — used to size the real managers so the preload fills
+/// their cache *exactly*, leaving no room to admit computed chunks.
+fn preload_bytes(dataset: &aggcache_gen::Dataset) -> usize {
+    let mut mgr = CacheManager::new(
+        backend_for(dataset),
+        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 64 * MB),
+    );
+    mgr.preload_best()
+        .expect("preload is backend-computable")
+        .expect("a 64 MB budget fits some group-by");
+    mgr.cache().used_bytes()
+}
+
+fn manager_with_threads(
+    dataset: &aggcache_gen::Dataset,
+    cache_bytes: usize,
+    threads: usize,
+) -> CacheManager {
+    let config =
+        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, cache_bytes).with_threads(threads);
+    let mut mgr = CacheManager::new(backend_for(dataset), config);
+    mgr.preload_best().expect("preload is backend-computable");
+    assert_eq!(
+        mgr.cache().used_bytes(),
+        mgr.cache().budget_bytes(),
+        "cache must be exactly full so computed admissions are refused"
+    );
+    mgr
+}
+
+/// Full group-by queries that are complete hits computed by aggregation,
+/// each expensive enough for the sharded executor.
+fn computable_hit_queries(dataset: &aggcache_gen::Dataset, cache_bytes: usize) -> Vec<Query> {
+    let mgr = manager_with_threads(dataset, cache_bytes, 1);
+    let grid = mgr.grid().clone();
+    let mut queries: Vec<Query> = grid
+        .schema()
+        .lattice()
+        .iter_ids()
+        .map(|gb| Query::full_group_by(&grid, gb))
+        .filter(|q| {
+            let p = mgr.probe(q);
+            p.is_complete_hit()
+                && p.plans().iter().any(|plan| !plan.direct_hit)
+                && p.plans().iter().map(|plan| plan.cost).sum::<u64>() >= PARALLEL_MIN_COST
+        })
+        .collect();
+    assert!(
+        !queries.is_empty(),
+        "pre-load must leave aggregation-heavy complete hits"
+    );
+    let distinct = queries.len();
+    while queries.len() < BATCH {
+        let q = queries[queries.len() % distinct].clone();
+        queries.push(q);
+    }
+    queries.truncate(BATCH);
+    queries
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let dataset = apb_dataset(220_000, 7);
+    let cache_bytes = preload_bytes(&dataset);
+    let queries = computable_hit_queries(&dataset, cache_bytes);
+
+    let mut group = c.benchmark_group("execute_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let mut mgr = manager_with_threads(&dataset, cache_bytes, threads);
+        // Warm-up: lets any admissions settle so the measured iterations
+        // all see the same cache version.
+        mgr.execute_batch(&queries).expect("batch in cache");
+        let v0 = mgr.version();
+        mgr.execute_batch(&queries).expect("batch in cache");
+        assert_eq!(v0, mgr.version(), "steady state must not mutate the cache");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| black_box(mgr.execute_batch(&queries).expect("batch in cache")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -47,6 +47,13 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// Worker threads for batched probing and sharded aggregation
+    /// (`--threads N`, default 1). Only wall-clock time is affected; all
+    /// virtual-time outputs are bit-identical at any setting.
+    pub fn threads(&self) -> usize {
+        self.get("threads", 1usize).max(1)
+    }
 }
 
 #[cfg(test)]

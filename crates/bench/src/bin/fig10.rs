@@ -8,6 +8,7 @@ fn main() {
         seed: a.get("seed", comparison::Opts::default().seed),
         queries: a.get("queries", comparison::Opts::default().queries),
         workload_seed: a.get("workload-seed", comparison::Opts::default().workload_seed),
+        threads: a.threads(),
         repeats: a.get("repeats", comparison::Opts::default().repeats),
     };
     let results = comparison::run_experiment(opts);

@@ -8,6 +8,7 @@ fn main() {
         seed: a.get("seed", policy::Opts::default().seed),
         queries: a.get("queries", policy::Opts::default().queries),
         workload_seed: a.get("workload-seed", policy::Opts::default().workload_seed),
+        threads: a.threads(),
         repeats: a.get("repeats", policy::Opts::default().repeats),
     };
     let results = policy::run_experiment(opts);

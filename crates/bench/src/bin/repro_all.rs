@@ -9,21 +9,53 @@ fn main() {
     let queries: usize = a.get("queries", 100);
     let seed: u64 = a.get("seed", 0xA9B1);
 
-    println!("=== aggcache reproduction: all experiments (tuples={tuples}, queries={queries}) ===\n");
+    println!(
+        "=== aggcache reproduction: all experiments (tuples={tuples}, queries={queries}) ===\n"
+    );
 
-    println!("{}", table1::run(table1::Opts { tuples, seed, ..Default::default() }));
+    println!(
+        "{}",
+        table1::run(table1::Opts {
+            tuples,
+            seed,
+            ..Default::default()
+        })
+    );
     println!("{}", table2::run(table2::Opts { tuples, seed }));
     println!("{}", table3::run(table3::Opts { tuples, seed }));
 
-    let p = policy::run_experiment(policy::Opts { tuples, seed, queries, ..Default::default() });
+    let p = policy::run_experiment(policy::Opts {
+        tuples,
+        seed,
+        queries,
+        ..Default::default()
+    });
     println!("{}", policy::render_fig7(&p));
     println!("{}", policy::render_fig8(&p));
 
-    let c = comparison::run_experiment(comparison::Opts { tuples, seed, queries, ..Default::default() });
+    let c = comparison::run_experiment(comparison::Opts {
+        tuples,
+        seed,
+        queries,
+        ..Default::default()
+    });
     println!("{}", comparison::render_fig9(&c));
     println!("{}", comparison::render_fig10(&c));
     println!("{}", comparison::render_table4(&c));
 
-    println!("{}", unit_a::run(unit_a::Opts { tuples, seed, ..Default::default() }));
-    println!("{}", unit_b::run(unit_b::Opts { seed, ..Default::default() }));
+    println!(
+        "{}",
+        unit_a::run(unit_a::Opts {
+            tuples,
+            seed,
+            ..Default::default()
+        })
+    );
+    println!(
+        "{}",
+        unit_b::run(unit_b::Opts {
+            seed,
+            ..Default::default()
+        })
+    );
 }

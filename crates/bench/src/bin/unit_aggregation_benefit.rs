@@ -6,7 +6,10 @@ fn main() {
     let opts = unit_a::Opts {
         tuples: a.get("tuples", unit_a::Opts::default().tuples),
         seed: a.get("seed", unit_a::Opts::default().seed),
-        cache_per_tuple_us: a.get("cache-per-tuple-us", unit_a::Opts::default().cache_per_tuple_us),
+        cache_per_tuple_us: a.get(
+            "cache-per-tuple-us",
+            unit_a::Opts::default().cache_per_tuple_us,
+        ),
     };
     println!("{}", unit_a::run(opts));
 }

@@ -56,6 +56,7 @@ pub fn run(opts: Opts) -> String {
         queries: opts.queries,
         seed: opts.workload_seed,
         group_boost: true,
+        threads: 1,
     };
 
     let mut out = String::from("Ablations (15 MB-equivalent cache, 100-query paper stream)\n\n");
@@ -63,13 +64,7 @@ pub fn run(opts: Opts) -> String {
     // 1 + 2: strategy ladder — ESM → VCM adds the count short-circuit,
     // VCM → VCMC adds cost-optimal path choice.
     {
-        let mut table = Table::new(&[
-            "strategy",
-            "hit %",
-            "avg ms",
-            "hit lookup ms",
-            "hit agg ms",
-        ]);
+        let mut table = Table::new(&["strategy", "hit %", "avg ms", "hit lookup ms", "hit agg ms"]);
         for strategy in [Strategy::Esm, Strategy::Vcm, Strategy::Vcmc] {
             let r = run_stream(&dataset, base_run(strategy));
             table.row(vec![
@@ -99,7 +94,11 @@ pub fn run(opts: Opts) -> String {
                     ..base_run(Strategy::Vcmc)
                 },
             );
-            table.row(vec![boost.to_string(), f2(r.complete_hit_pct), f2(r.avg_ms)]);
+            table.row(vec![
+                boost.to_string(),
+                f2(r.complete_hit_pct),
+                f2(r.avg_ms),
+            ]);
         }
         out.push_str("== 3. two-level group clock-boost ==\n");
         out.push_str(&table.render());
@@ -191,7 +190,11 @@ fn run_preload_variant(
                     schema.estimated_distinct_cells(&level, n_facts) * 20 <= cache_bytes as u64
                 })
                 .max_by_key(|&gb| {
-                    lattice.level_of(gb).iter().map(|&l| u32::from(l)).sum::<u32>()
+                    lattice
+                        .level_of(gb)
+                        .iter()
+                        .map(|&l| u32::from(l))
+                        .sum::<u32>()
                 });
             if let Some(gb) = best {
                 let desc = lattice.descendant_count(gb);

@@ -27,6 +27,9 @@ pub struct Opts {
     pub workload_seed: u64,
     /// Number of streams (consecutive seeds) to average.
     pub repeats: u64,
+    /// Worker threads for batched probing and sharded aggregation
+    /// (wall-clock only; virtual outputs are unchanged).
+    pub threads: usize,
 }
 
 impl Default for Opts {
@@ -38,6 +41,7 @@ impl Default for Opts {
             queries: 100,
             workload_seed: 2000,
             repeats: 3,
+            threads: 1,
         }
     }
 }
@@ -75,6 +79,7 @@ pub fn run_experiment(opts: Opts) -> ComparisonResults {
                 queries: opts.queries,
                 seed: opts.workload_seed,
                 group_boost: true,
+                threads: opts.threads,
             },
             opts.repeats,
         ));
@@ -89,6 +94,7 @@ pub fn run_experiment(opts: Opts) -> ComparisonResults {
                     queries: opts.queries,
                     seed: opts.workload_seed,
                     group_boost: true,
+                    threads: opts.threads,
                 },
                 opts.repeats,
             ));
@@ -104,9 +110,17 @@ pub fn run_experiment(opts: Opts) -> ComparisonResults {
 
 /// Renders Figure 9 (average execution times of the three schemes).
 pub fn render_fig9(r: &ComparisonResults) -> String {
-    let mut out =
-        String::from("Figure 9: average execution times — no aggregation vs ESM vs VCMC (virtual ms)\n\n");
-    let mut table = Table::new(&["cache MB", "no-agg ms", "ESM ms", "VCMC ms", "no-agg hit %", "active hit %"]);
+    let mut out = String::from(
+        "Figure 9: average execution times — no aggregation vs ESM vs VCMC (virtual ms)\n\n",
+    );
+    let mut table = Table::new(&[
+        "cache MB",
+        "no-agg ms",
+        "ESM ms",
+        "VCMC ms",
+        "no-agg hit %",
+        "active hit %",
+    ]);
     for (i, &mb) in r.sizes_mb.iter().enumerate() {
         table.row(vec![
             mb.to_string(),

@@ -25,6 +25,9 @@ pub struct Opts {
     pub workload_seed: u64,
     /// Number of streams (consecutive seeds) to average.
     pub repeats: u64,
+    /// Worker threads for batched probing and sharded aggregation
+    /// (wall-clock only; virtual outputs are unchanged).
+    pub threads: usize,
 }
 
 impl Default for Opts {
@@ -38,6 +41,7 @@ impl Default for Opts {
             queries: 100,
             workload_seed: 2000,
             repeats: 3,
+            threads: 1,
         }
     }
 }
@@ -73,6 +77,7 @@ pub fn run_experiment(opts: Opts) -> PolicyResults {
                 queries: opts.queries,
                 seed: opts.workload_seed,
                 group_boost: true,
+                threads: opts.threads,
             },
             opts.repeats,
         ));
@@ -89,6 +94,7 @@ pub fn run_experiment(opts: Opts) -> PolicyResults {
                 queries: opts.queries,
                 seed: opts.workload_seed,
                 group_boost: true,
+                threads: opts.threads,
             },
             opts.repeats,
         ));
@@ -102,7 +108,8 @@ pub fn run_experiment(opts: Opts) -> PolicyResults {
 
 /// Renders Figure 7 (complete-hit ratios).
 pub fn render_fig7(r: &PolicyResults) -> String {
-    let mut out = String::from("Figure 7: complete hit ratios (% of queries fully answered from cache)\n\n");
+    let mut out =
+        String::from("Figure 7: complete hit ratios (% of queries fully answered from cache)\n\n");
     let mut table = Table::new(&["cache MB", "two-level %", "benefit %"]);
     for (i, &mb) in r.sizes_mb.iter().enumerate() {
         table.row(vec![

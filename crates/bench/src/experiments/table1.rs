@@ -11,9 +11,9 @@
 use crate::report::{f3, MinMaxAvg, Table};
 use crate::rig::{apb_dataset, manager_for, strategy_name};
 use aggcache_cache::{Origin, PolicyKind};
+use aggcache_chunks::ChunkKey;
 use aggcache_core::{CacheManager, LookupStats, Strategy};
 use aggcache_gen::Dataset;
-use aggcache_chunks::ChunkKey;
 use std::time::Instant;
 
 /// Options for the Table 1 run.
@@ -45,11 +45,7 @@ struct AlgoResult {
     aborted: u64,
 }
 
-fn measure(
-    mgr: &CacheManager,
-    dataset: &Dataset,
-    name: &'static str,
-) -> AlgoResult {
+fn measure(mgr: &CacheManager, dataset: &Dataset, name: &'static str) -> AlgoResult {
     let lattice = dataset.grid.schema().lattice().clone();
     let mut times = MinMaxAvg::default();
     let mut aborted = 0u64;
@@ -92,7 +88,10 @@ pub fn run(opts: Opts) -> String {
 
     let mut out = String::from("Table 1: lookup times (microseconds per lookup)\n\n");
 
-    for (scenario, warm) in [("Cache Empty", false), ("Cache Preloaded (all base chunks)", true)] {
+    for (scenario, warm) in [
+        ("Cache Empty", false),
+        ("Cache Preloaded (all base chunks)", true),
+    ] {
         let mut table = Table::new(&["algorithm", "min µs", "max µs", "avg µs", "aborted"]);
         for strategy in strategies {
             let mut mgr = manager_for(&dataset, strategy, PolicyKind::Benefit, usize::MAX >> 1);

@@ -9,8 +9,8 @@
 use crate::report::{f3, MinMaxAvg, Table};
 use crate::rig::{apb_dataset, manager_for};
 use aggcache_cache::{Origin, PolicyKind};
-use aggcache_core::Strategy;
 use aggcache_chunks::ChunkKey;
+use aggcache_core::Strategy;
 
 /// Options for the Table 2 run.
 #[derive(Debug, Clone, Copy)]

@@ -13,8 +13,8 @@
 
 use crate::report::{f2, MinMaxAvg, Table};
 use crate::rig::{apb_dataset, backend_for};
-use aggcache_chunks::ChunkKey;
 use aggcache_cache::{ChunkCache, Origin, PolicyKind};
+use aggcache_chunks::ChunkKey;
 use aggcache_core::{esm, execute_plan, LookupStats};
 use std::time::Instant;
 
@@ -49,7 +49,12 @@ pub fn run(opts: Opts) -> String {
     let mut cache = ChunkCache::new(usize::MAX >> 1, PolicyKind::Benefit);
     let fetch = backend.fetch_group_by(dataset.fact_gb).unwrap();
     for (chunk, data) in fetch.chunks {
-        cache.insert(ChunkKey::new(dataset.fact_gb, chunk), data, Origin::Backend, 1.0);
+        cache.insert(
+            ChunkKey::new(dataset.fact_gb, chunk),
+            data,
+            Origin::Backend,
+            1.0,
+        );
     }
 
     let mut virtual_ratio = MinMaxAvg::default();

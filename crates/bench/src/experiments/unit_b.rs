@@ -11,8 +11,8 @@
 use crate::report::{f2, MinMaxAvg, Table};
 use crate::rig::{apb_dataset, manager_for};
 use aggcache_cache::{Origin, PolicyKind};
-use aggcache_core::Strategy;
 use aggcache_chunks::ChunkKey;
+use aggcache_core::Strategy;
 
 /// Options for unit experiment B.
 #[derive(Debug, Clone, Copy)]
@@ -70,7 +70,9 @@ pub fn run(opts: Opts) -> String {
             continue;
         }
         let key = ChunkKey::new(gb, 0);
-        let Some(best) = costs.cost(key) else { continue };
+        let Some(best) = costs.cost(key) else {
+            continue;
+        };
         if best == 0 {
             continue;
         }
@@ -136,9 +138,8 @@ pub fn run(opts: Opts) -> String {
         entry.1.add(e2e);
     }
 
-    let mut out = String::from(
-        "Unit experiment B: fastest vs slowest computation path (cost ratios)\n\n",
-    );
+    let mut out =
+        String::from("Unit experiment B: fastest vs slowest computation path (cost ratios)\n\n");
     let mut table = Table::new(&[
         "aggregation depth",
         "group-bys",

@@ -28,7 +28,11 @@ pub fn apb_dataset(tuples: u64, seed: u64) -> Dataset {
 /// The fact table is cloned so that one generated dataset can feed many
 /// manager configurations.
 pub fn backend_for(dataset: &Dataset) -> Backend {
-    Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default())
+    Backend::new(
+        dataset.fact.clone(),
+        AggFn::Sum,
+        BackendCostModel::default(),
+    )
 }
 
 /// Builds a manager over (a clone of) the dataset's fact table.

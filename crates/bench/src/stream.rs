@@ -24,6 +24,10 @@ pub struct StreamRun {
     pub seed: u64,
     /// Two-level group clock-boost (ablation knob; true = paper behaviour).
     pub group_boost: bool,
+    /// Worker threads for batched probing and sharded aggregation. Only
+    /// wall-clock time is affected; all virtual-time outputs are
+    /// bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl StreamRun {
@@ -37,6 +41,7 @@ impl StreamRun {
             queries: 100,
             seed: 2000,
             group_boost: true,
+            threads: 1,
         }
     }
 }
@@ -120,20 +125,18 @@ pub fn run_stream_averaged(dataset: &Dataset, run: StreamRun, repeats: u64) -> A
 /// strategies and policies are compared on exactly the same workload, as
 /// in the paper.
 pub fn run_stream(dataset: &Dataset, run: StreamRun) -> StreamResult {
-    let mut config = ManagerConfig::new(run.strategy, run.policy, run.cache_bytes);
+    let mut config =
+        ManagerConfig::new(run.strategy, run.policy, run.cache_bytes).with_threads(run.threads);
     config.group_boost = run.group_boost;
     let mut mgr = CacheManager::new(crate::rig::backend_for(dataset), config);
     let preload = if run.preload {
-        mgr.preload_best().expect("preload group-bys are backend-computable")
+        mgr.preload_best()
+            .expect("preload group-bys are backend-computable")
     } else {
         None
     };
 
-    let max_level = dataset
-        .grid
-        .geom(dataset.fact_gb)
-        .level()
-        .to_vec();
+    let max_level = dataset.grid.geom(dataset.fact_gb).level().to_vec();
     let mut stream = QueryStream::new(
         dataset.grid.clone(),
         WorkloadConfig::paper(max_level, run.seed),
@@ -147,7 +150,9 @@ pub fn run_stream(dataset: &Dataset, run: StreamRun) -> StreamResult {
 
     for _ in 0..run.queries {
         let (query, _) = stream.next_with_kind();
-        let result = mgr.execute(&query).expect("stream stays within the fact level");
+        let result = mgr
+            .execute(&query)
+            .expect("stream stays within the fact level");
         let m = result.metrics;
         if m.complete_hit {
             hits += 1;
@@ -165,7 +170,11 @@ pub fn run_stream(dataset: &Dataset, run: StreamRun) -> StreamResult {
         hit_lookup_ms: hit_lookup,
         hit_agg_ms: hit_agg,
         hit_update_ms: hit_update,
-        hit_total_ms: if hits > 0 { hit_total / hits as f64 } else { 0.0 },
+        hit_total_ms: if hits > 0 {
+            hit_total / hits as f64
+        } else {
+            0.0
+        },
         preload,
         tuples_aggregated: s.tuples_aggregated,
         backend_tuples: s.backend_tuples,
@@ -190,6 +199,7 @@ mod tests {
                 queries: 20,
                 seed: 7,
                 group_boost: true,
+                threads: 1,
             },
         );
         assert!(r.complete_hit_pct >= 0.0 && r.complete_hit_pct <= 100.0);
@@ -208,6 +218,7 @@ mod tests {
             queries: 15,
             seed: 11,
             group_boost: true,
+            threads: 1,
         };
         // VCM and VCMC answer the same set of queries from the cache, so
         // their complete-hit percentages must be identical.

@@ -396,7 +396,11 @@ mod tests {
         let _ = c.get(&k(2));
         let out = c.insert(k(3), chunk(10), Origin::Backend, 0.0);
         assert!(out.admitted);
-        assert_eq!(out.evicted, vec![k(1)], "huge benefit must not protect under LRU");
+        assert_eq!(
+            out.evicted,
+            vec![k(1)],
+            "huge benefit must not protect under LRU"
+        );
     }
 
     #[test]
@@ -448,7 +452,10 @@ mod tests {
         c.insert(k(1), chunk(10), Origin::Backend, 1.0);
         c.insert(k(2), chunk(10), Origin::Backend, 1.0);
         let out = c.insert(k(3), chunk(10), Origin::Computed, 100.0);
-        assert!(!out.admitted, "computed chunk must not displace backend chunks");
+        assert!(
+            !out.admitted,
+            "computed chunk must not displace backend chunks"
+        );
         assert_eq!(c.len(), 2);
     }
 

@@ -95,7 +95,9 @@ impl ChunkData {
 
     /// Iterates over `(coords, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[u32], f64)> + '_ {
-        self.coords.chunks_exact(self.n_dims).zip(self.values.iter().copied())
+        self.coords
+            .chunks_exact(self.n_dims)
+            .zip(self.values.iter().copied())
     }
 
     /// The flattened coordinate array (`len() * n_dims()` entries).
@@ -135,9 +137,7 @@ impl ChunkData {
     pub fn sort_by_coords(&mut self) {
         let n = self.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            self.coords_of(a as usize).cmp(self.coords_of(b as usize))
-        });
+        order.sort_unstable_by(|&a, &b| self.coords_of(a as usize).cmp(self.coords_of(b as usize)));
         let mut coords = Vec::with_capacity(self.coords.len());
         let mut values = Vec::with_capacity(n);
         for &i in &order {

@@ -211,7 +211,9 @@ impl DimChunking {
     /// (`Σ_l n_chunks(l)` — the per-dimension factor of the whole-cube chunk
     /// census used for the paper's space-overhead accounting, Table 3).
     pub fn total_chunks(&self) -> u64 {
-        (0..self.num_levels()).map(|l| u64::from(self.n_chunks(l as u8))).sum()
+        (0..self.num_levels())
+            .map(|l| u64::from(self.n_chunks(l as u8)))
+            .sum()
     }
 }
 

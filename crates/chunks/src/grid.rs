@@ -22,7 +22,9 @@ impl LevelGeometry {
             weights[d] = w;
             w = w
                 .checked_mul(u64::from(n_chunks[d]))
-                .ok_or_else(|| ChunkError::TooManyChunks { level: level.clone() })?;
+                .ok_or_else(|| ChunkError::TooManyChunks {
+                    level: level.clone(),
+                })?;
         }
         Ok(Self {
             level,
@@ -140,7 +142,9 @@ impl ChunkGrid {
                 .collect();
             geoms.push(LevelGeometry::new(level, n_chunks)?);
         }
-        let lattice_weights = (0..dims.len()).map(|d| lattice_weight(lattice, d)).collect();
+        let lattice_weights = (0..dims.len())
+            .map(|d| lattice_weight(lattice, d))
+            .collect();
         Ok(Self {
             schema,
             dims,
@@ -283,7 +287,8 @@ impl ChunkGrid {
         debug_assert!(self.schema.lattice().computable_from(to, gb));
         let mut num = 0u64;
         for d in 0..self.dims.len() {
-            let c = self.dims[d].ascend_chunk(geom.level()[d], tgeom.level()[d], geom.coord(chunk, d));
+            let c =
+                self.dims[d].ascend_chunk(geom.level()[d], tgeom.level()[d], geom.coord(chunk, d));
             num += u64::from(c) * tgeom.weight(d);
         }
         num
@@ -462,7 +467,9 @@ mod tests {
         let lattice = g.schema().lattice();
         assert_eq!(g.base_cells_under(lattice.top(), 0), 12 * 6);
         let base = lattice.base();
-        let total: u64 = (0..g.n_chunks(base)).map(|c| g.base_cells_under(base, c)).sum();
+        let total: u64 = (0..g.n_chunks(base))
+            .map(|c| g.base_cells_under(base, c))
+            .sum();
         assert_eq!(total, 12 * 6);
     }
 }

@@ -224,7 +224,13 @@ impl CostTable {
             .collect();
         let mut ids: Vec<GroupById> = lattice.iter_ids().collect();
         ids.sort_by_key(|&id| {
-            std::cmp::Reverse(lattice.level_of(id).iter().map(|&l| u32::from(l)).sum::<u32>())
+            std::cmp::Reverse(
+                lattice
+                    .level_of(id)
+                    .iter()
+                    .map(|&l| u32::from(l))
+                    .sum::<u32>(),
+            )
         });
         let mut parents: Vec<ChunkNumber> = Vec::new();
         for gb in ids {
@@ -233,9 +239,7 @@ impl CostTable {
                 for (_, pgb) in lattice.parents(gb) {
                     // Which dimension is this parent along?
                     let dim = (0..grid.num_dims())
-                        .find(|&d| {
-                            lattice.level_of(pgb)[d] == lattice.level_of(gb)[d] + 1
-                        })
+                        .find(|&d| lattice.level_of(pgb)[d] == lattice.level_of(gb)[d] + 1)
                         .unwrap();
                     parents.clear();
                     grid.parent_chunks_into(gb, chunk, dim, &mut parents);
@@ -362,7 +366,9 @@ mod tests {
             .flat_map(|gb| (0..grid.n_chunks(gb)).map(move |c| ChunkKey::new(gb, c)))
             .collect();
         for step in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = all_keys[(state >> 33) as usize % all_keys.len()];
             if let std::collections::hash_map::Entry::Vacant(e) = cached.entry(key) {
                 let size = (state % 20) as u32 + 1;

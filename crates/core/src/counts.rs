@@ -153,8 +153,7 @@ impl CountTable {
             self.grid
                 .parent_chunks_into(child_gb, child_chunk, dim, &mut siblings);
             let ok = siblings.iter().all(|&s| {
-                (!inserting && s == key.chunk)
-                    || self.counts.get(ChunkKey::new(key.gb, s)) > 0
+                (!inserting && s == key.chunk) || self.counts.get(ChunkKey::new(key.gb, s)) > 0
             });
             if ok {
                 let child = ChunkKey::new(child_gb, child_chunk);
@@ -177,7 +176,13 @@ impl CountTable {
         // parent counts are final before children are computed.
         let mut ids: Vec<aggcache_schema::GroupById> = lattice.iter_ids().collect();
         ids.sort_by_key(|&id| {
-            std::cmp::Reverse(lattice.level_of(id).iter().map(|&l| u32::from(l)).sum::<u32>())
+            std::cmp::Reverse(
+                lattice
+                    .level_of(id)
+                    .iter()
+                    .map(|&l| u32::from(l))
+                    .sum::<u32>(),
+            )
         });
         let mut parents: Vec<aggcache_chunks::ChunkNumber> = Vec::new();
         for gb in ids {

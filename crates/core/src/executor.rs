@@ -1,7 +1,7 @@
 use crate::ComputationPlan;
 use aggcache_cache::ChunkCache;
 use aggcache_chunks::{ChunkData, ChunkGrid};
-use aggcache_store::{AggFn, Aggregator, Lift};
+use aggcache_store::{aggregate_to_level_parallel, AggFn, Aggregator, Lift};
 
 /// Executes a [`ComputationPlan`]: aggregates the plan's cached leaf chunks
 /// (at whatever mixed levels they live) straight up to the target chunk's
@@ -34,6 +34,53 @@ pub fn execute_plan(
     }
     let tuples = aggregator.cells_added();
     (aggregator.finish(), tuples)
+}
+
+/// Plans cheaper than this (in cells to aggregate) run single-threaded:
+/// below it, spawning scoped threads costs more than the aggregation.
+pub const PARALLEL_MIN_COST: u64 = 8_192;
+
+/// [`execute_plan`], parallelized across `threads` scoped threads via the
+/// two-phase exchange in [`aggregate_to_level_parallel`]: a partition pass
+/// rolls up and encodes every leaf cell exactly once (split by contiguous
+/// input ranges), then each target-cell shard reduces its `(key, value)`
+/// runs in global input order and the disjoint partial [`Aggregator`]s are
+/// merged. Each target cell's contributions combine in exactly the
+/// sequential order, so the result is bit-identical to [`execute_plan`] —
+/// including floating-point SUM, which leaf-sharding would silently
+/// re-associate.
+///
+/// Falls back to the sequential path when `threads <= 1` or the plan is
+/// below [`PARALLEL_MIN_COST`].
+///
+/// # Panics
+///
+/// Panics if a leaf is missing from the cache — the caller must pin plan
+/// leaves between lookup and execution.
+pub fn execute_plan_parallel(
+    grid: &ChunkGrid,
+    cache: &ChunkCache,
+    agg: AggFn,
+    plan: &ComputationPlan,
+    threads: usize,
+) -> (ChunkData, u64) {
+    if threads <= 1 || plan.cost < PARALLEL_MIN_COST {
+        return execute_plan(grid, cache, agg, plan);
+    }
+    let schema = grid.schema();
+    let target_level = grid.geom(plan.target.gb).level();
+    // Resolve leaves once; workers share the read-only borrows.
+    let leaves: Vec<(&[u8], &ChunkData)> = plan
+        .leaves
+        .iter()
+        .map(|leaf| {
+            let entry = cache
+                .peek(leaf)
+                .expect("plan leaf evicted before execution; pin leaves");
+            (grid.geom(leaf.gb).level(), &entry.data)
+        })
+        .collect();
+    aggregate_to_level_parallel(schema, &leaves, target_level, agg, Lift::Lifted, threads)
 }
 
 #[cfg(test)]
@@ -96,11 +143,65 @@ mod tests {
     }
 
     #[test]
+    fn parallel_execution_is_bit_identical() {
+        let schema = Arc::new(
+            Schema::new(
+                vec![
+                    Dimension::balanced("x", vec![1, 2, 6]).unwrap(),
+                    Dimension::flat("y", 4).unwrap(),
+                ],
+                "m",
+            )
+            .unwrap(),
+        );
+        let grid = Arc::new(ChunkGrid::build(schema, &[vec![1, 2, 3], vec![1, 2]]).unwrap());
+        let lattice = grid.schema().lattice().clone();
+        let base = lattice.base();
+        let mut cells = ChunkData::new(2);
+        for x in 0..6u32 {
+            for y in 0..4u32 {
+                // Non-associative float mix: re-association would change bits.
+                cells.push(&[x, y], 0.1 + f64::from(x) * 1e9 + f64::from(y).sin());
+            }
+        }
+        let backend = Backend::new(
+            FactTable::load(grid.clone(), base, cells),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        );
+        let mut cache = ChunkCache::new(usize::MAX, PolicyKind::Benefit);
+        for (chunk, data) in backend.fetch_group_by(base).unwrap().chunks {
+            cache.insert(ChunkKey::new(base, chunk), data, Origin::Backend, 1.0);
+        }
+        for gb in lattice.iter_ids() {
+            for chunk in 0..grid.n_chunks(gb) {
+                let mut stats = LookupStats::default();
+                let mut plan = esm(&cache, &grid, ChunkKey::new(gb, chunk), &mut stats).unwrap();
+                // Force the parallel path regardless of the real plan cost.
+                plan.cost = plan.cost.max(PARALLEL_MIN_COST);
+                let (seq, seq_tuples) = execute_plan(&grid, &cache, AggFn::Sum, &plan);
+                for threads in [2usize, 3, 8] {
+                    let (par, par_tuples) =
+                        execute_plan_parallel(&grid, &cache, AggFn::Sum, &plan, threads);
+                    assert_eq!(par_tuples, seq_tuples);
+                    assert_eq!(par.len(), seq.len());
+                    for i in 0..par.len() {
+                        assert_eq!(par.coords_of(i), seq.coords_of(i));
+                        assert_eq!(
+                            par.value_of(i).to_bits(),
+                            seq.value_of(i).to_bits(),
+                            "gb {gb:?} chunk {chunk} threads {threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "plan leaf evicted")]
     fn panics_on_missing_leaf() {
-        let schema = Arc::new(
-            Schema::new(vec![Dimension::flat("x", 2).unwrap()], "m").unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Dimension::flat("x", 2).unwrap()], "m").unwrap());
         let grid = Arc::new(ChunkGrid::build(schema, &[vec![1, 1]]).unwrap());
         let cache = ChunkCache::new(usize::MAX, PolicyKind::Benefit);
         let plan = ComputationPlan {

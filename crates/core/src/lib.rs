@@ -27,20 +27,22 @@
 
 #![warn(missing_docs)]
 
-mod counts;
-mod storage;
 mod cost;
+mod counts;
 mod executor;
 mod lookup;
 mod manager;
 mod metrics;
 mod query;
+mod storage;
 
-pub use counts::CountTable;
 pub use cost::{CostTable, COST_INF, PARENT_NONE, PARENT_SELF};
-pub use executor::execute_plan;
-pub use lookup::{esm, esmc, lookup, no_aggregation, vcm, vcmc, ComputationPlan, LookupStats, Strategy};
-pub use manager::{CacheManager, ManagerConfig, PreloadReport};
+pub use counts::CountTable;
+pub use executor::{execute_plan, execute_plan_parallel, PARALLEL_MIN_COST};
+pub use lookup::{
+    esm, esmc, lookup, no_aggregation, vcm, vcmc, ComputationPlan, LookupStats, Strategy,
+};
+pub use manager::{CacheManager, ManagerConfig, PreloadReport, QueryProbe};
 pub use metrics::{QueryMetrics, SessionMetrics};
 pub use query::{Query, QueryResult, ValueQuery};
 pub use storage::TableKind;

@@ -197,7 +197,14 @@ fn esmc_rec(
         let mut all_leaves: Vec<ChunkKey> = Vec::new();
         let mut ok = true;
         for &p in parents.iter() {
-            match esmc_rec(cache, grid, ChunkKey::new(parent_gb, p), stats, node_budget, aborted) {
+            match esmc_rec(
+                cache,
+                grid,
+                ChunkKey::new(parent_gb, p),
+                stats,
+                node_budget,
+                aborted,
+            ) {
                 Some((c, ls)) => {
                     total += c;
                     all_leaves.extend(ls);
@@ -270,7 +277,14 @@ fn vcm_rec(
             .all(|&p| counts.is_computable(ChunkKey::new(parent_gb, p)))
         {
             for &p in parents.iter() {
-                vcm_rec(counts, cache, grid, ChunkKey::new(parent_gb, p), stats, leaves);
+                vcm_rec(
+                    counts,
+                    cache,
+                    grid,
+                    ChunkKey::new(parent_gb, p),
+                    stats,
+                    leaves,
+                );
             }
             return;
         }
@@ -340,8 +354,20 @@ pub fn lookup(
         Strategy::NoAggregation => no_aggregation(cache, key, stats),
         Strategy::Esm => esm(cache, grid, key, stats),
         Strategy::Esmc { node_budget } => esmc(cache, grid, key, stats, node_budget),
-        Strategy::Vcm => vcm(counts.expect("VCM needs a CountTable"), cache, grid, key, stats),
-        Strategy::Vcmc => vcmc(costs.expect("VCMC needs a CostTable"), cache, grid, key, stats),
+        Strategy::Vcm => vcm(
+            counts.expect("VCM needs a CountTable"),
+            cache,
+            grid,
+            key,
+            stats,
+        ),
+        Strategy::Vcmc => vcmc(
+            costs.expect("VCMC needs a CostTable"),
+            cache,
+            grid,
+            key,
+            stats,
+        ),
     }
 }
 
@@ -463,7 +489,14 @@ mod tests {
         let rig = Rig::new();
         let (_, _, _, b00) = ids(&rig.grid);
         let mut s = LookupStats::default();
-        assert!(vcm(&rig.counts, &rig.cache, &rig.grid, ChunkKey::new(b00, 0), &mut s).is_none());
+        assert!(vcm(
+            &rig.counts,
+            &rig.cache,
+            &rig.grid,
+            ChunkKey::new(b00, 0),
+            &mut s
+        )
+        .is_none());
         assert_eq!(s.nodes_visited, 1);
         // ESM on the same empty cache must recurse (it cannot know the
         // answer without exploring); on this tiny lattice that is 5 nodes,
@@ -483,7 +516,14 @@ mod tests {
         rig.add(ChunkKey::new(b01, 0), 2);
         rig.add(ChunkKey::new(b01, 1), 2);
         let mut s = LookupStats::default();
-        let plan = vcmc(&rig.costs, &rig.cache, &rig.grid, ChunkKey::new(b00, 0), &mut s).unwrap();
+        let plan = vcmc(
+            &rig.costs,
+            &rig.cache,
+            &rig.grid,
+            ChunkKey::new(b00, 0),
+            &mut s,
+        )
+        .unwrap();
         assert_eq!(plan.cost, 4, "must choose the cheap (0,1) path");
         assert_eq!(plan.leaves.len(), 2);
         assert!(plan.leaves.iter().all(|l| l.gb == b01));
@@ -507,7 +547,14 @@ mod tests {
         let mut s_esm = LookupStats::default();
         esm(&rig.cache, &rig.grid, ChunkKey::new(b00, 0), &mut s_esm).unwrap();
         let mut s_esmc = LookupStats::default();
-        esmc(&rig.cache, &rig.grid, ChunkKey::new(b00, 0), &mut s_esmc, None).unwrap();
+        esmc(
+            &rig.cache,
+            &rig.grid,
+            ChunkKey::new(b00, 0),
+            &mut s_esmc,
+            None,
+        )
+        .unwrap();
         assert!(
             s_esmc.nodes_visited > s_esm.nodes_visited,
             "esmc {} vs esm {}",
@@ -524,7 +571,13 @@ mod tests {
             rig.add(ChunkKey::new(b11, c), 5);
         }
         let mut s = LookupStats::default();
-        let r = esmc(&rig.cache, &rig.grid, ChunkKey::new(b00, 0), &mut s, Some(3));
+        let r = esmc(
+            &rig.cache,
+            &rig.grid,
+            ChunkKey::new(b00, 0),
+            &mut s,
+            Some(3),
+        );
         assert!(r.is_none());
         assert!(s.nodes_visited <= 5);
     }
@@ -540,7 +593,14 @@ mod tests {
         rig.add(ChunkKey::new(b01, 1), 2);
         rig.evict(ChunkKey::new(b01, 0));
         let mut s = LookupStats::default();
-        let plan = vcmc(&rig.costs, &rig.cache, &rig.grid, ChunkKey::new(b00, 0), &mut s).unwrap();
+        let plan = vcmc(
+            &rig.costs,
+            &rig.cache,
+            &rig.grid,
+            ChunkKey::new(b00, 0),
+            &mut s,
+        )
+        .unwrap();
         // Best is now 2 (cached (0,1) chunk 1) + 10 ((1,1) pair) = 12.
         assert_eq!(plan.cost, 12);
         for leaf in &plan.leaves {
@@ -554,8 +614,17 @@ mod tests {
         let (b11, _, _, _) = ids(&rig.grid);
         rig.add(ChunkKey::new(b11, 1), 7);
         for strategy_plan in [
-            no_aggregation(&rig.cache, ChunkKey::new(b11, 1), &mut LookupStats::default()),
-            esm(&rig.cache, &rig.grid, ChunkKey::new(b11, 1), &mut LookupStats::default()),
+            no_aggregation(
+                &rig.cache,
+                ChunkKey::new(b11, 1),
+                &mut LookupStats::default(),
+            ),
+            esm(
+                &rig.cache,
+                &rig.grid,
+                ChunkKey::new(b11, 1),
+                &mut LookupStats::default(),
+            ),
             vcm(
                 &rig.counts,
                 &rig.cache,

@@ -1,5 +1,7 @@
 use crate::lookup::{lookup, ComputationPlan, LookupStats, Strategy};
-use crate::{execute_plan, CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
+use crate::{
+    execute_plan_parallel, CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics,
+};
 use aggcache_cache::{ChunkCache, Origin, PolicyKind};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
 use aggcache_schema::{GroupById, Level};
@@ -37,6 +39,12 @@ pub struct ManagerConfig {
     /// (the paper's Table 3 accounting) or sparse maps holding only
     /// non-default cells (the paper's suggested optimization).
     pub table_kind: crate::TableKind,
+    /// Worker threads for batched execution: [`CacheManager::execute_batch`]
+    /// probes queries concurrently across this many threads and shards
+    /// large in-cache aggregations across them. `1` (the default) keeps
+    /// every path single-threaded. Results are bit-identical at any
+    /// setting; only wall-clock time changes.
+    pub threads: usize,
     /// Cost-based cache-vs-backend arbitration (paper §5.2: VCMC "can
     /// return the least cost of computing a chunk instantaneously … very
     /// useful for a cost-based optimizer, which can then decide whether to
@@ -60,9 +68,16 @@ impl ManagerConfig {
             lookup_per_node_us: 0.2,
             update_per_write_us: 1.0,
             group_boost: true,
+            threads: 1,
             table_kind: crate::TableKind::Dense,
             optimizer: false,
         }
+    }
+
+    /// The same config with `threads` worker threads for batched execution.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }
 
@@ -142,6 +157,55 @@ pub struct CacheManager {
     tables: Tables,
     config: ManagerConfig,
     session: SessionMetrics,
+    /// Monotonic counter bumped on every mutation that can change a probe's
+    /// outcome (any admission, replacement or eviction — which also covers
+    /// every count/cost-table change). Clock touches, pins and benefit
+    /// boosts do *not* bump it: they only influence which entries a *future*
+    /// eviction picks, not what the cache can answer now. A [`QueryProbe`]
+    /// carries the version it was computed against; apply re-probes iff the
+    /// versions differ, which is what makes batched execution bit-identical
+    /// to the sequential loop.
+    version: u64,
+}
+
+/// The outcome of the immutable probe phase of one query: the partition of
+/// its chunks into computation plans (direct hits included) and backend
+/// misses, stamped with the cache version it was computed against.
+///
+/// Produced by [`CacheManager::probe`] with `&self` only — many probes can
+/// run concurrently over one manager — and consumed by the mutating apply
+/// phase ([`CacheManager::execute_batch`] / [`CacheManager::execute`]).
+#[derive(Debug)]
+pub struct QueryProbe {
+    plans: Vec<ComputationPlan>,
+    missing: Vec<u64>,
+    lookup_nodes: u64,
+    chunks_demoted: usize,
+    lookup_ns: u64,
+    probe_ns: u64,
+    version: u64,
+}
+
+impl QueryProbe {
+    /// The computation plans (direct hits and in-cache aggregations).
+    pub fn plans(&self) -> &[ComputationPlan] {
+        &self.plans
+    }
+
+    /// The chunks that must be fetched from the backend.
+    pub fn missing(&self) -> &[u64] {
+        &self.missing
+    }
+
+    /// Whether the query would be answered entirely from the cache.
+    pub fn is_complete_hit(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// The cache version this probe was computed against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
 }
 
 impl CacheManager {
@@ -160,6 +224,7 @@ impl CacheManager {
             tables,
             config,
             session: SessionMetrics::default(),
+            version: 0,
         }
     }
 
@@ -205,6 +270,13 @@ impl CacheManager {
         &self.session
     }
 
+    /// The current cache version: bumped on every admission, replacement
+    /// or eviction. Probes taken at an older version are re-computed
+    /// before being applied.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Clears session metrics (e.g. after warm-up).
     pub fn reset_session(&mut self) {
         self.session = SessionMetrics::default();
@@ -218,7 +290,15 @@ impl CacheManager {
             Tables::Costs(t) => (Some(t.counts()), Some(t)),
             Tables::None => (None, None),
         };
-        lookup(self.config.strategy, &self.cache, &self.grid, counts, costs, key, stats)
+        lookup(
+            self.config.strategy,
+            &self.cache,
+            &self.grid,
+            counts,
+            costs,
+            key,
+            stats,
+        )
     }
 
     /// Inserts a chunk (fetched or computed elsewhere) into the cache,
@@ -259,6 +339,11 @@ impl CacheManager {
         if outcome.admitted {
             self.tables.on_insert(key, size);
         }
+        // A refused insert (no replacement, nothing evicted) leaves probe-
+        // relevant state untouched, so outstanding probes stay valid.
+        if replacing || outcome.admitted || !outcome.evicted.is_empty() {
+            self.version += 1;
+        }
         (outcome.admitted, t.elapsed().as_nanos() as u64)
     }
 
@@ -266,6 +351,7 @@ impl CacheManager {
     /// table updates. Returns the table-maintenance nanoseconds.
     pub fn evict_chunk(&mut self, key: ChunkKey) -> u64 {
         if self.cache.remove(&key) {
+            self.version += 1;
             let t = Instant::now();
             self.tables.on_evict(key);
             t.elapsed().as_nanos() as u64
@@ -321,8 +407,12 @@ impl CacheManager {
         let mut loaded = 0u64;
         for (chunk, data) in fetch.chunks {
             let b = data.accounting_bytes();
-            let (admitted, _) =
-                self.insert_chunk(ChunkKey::new(gb, chunk), data, Origin::Backend, per_chunk_benefit);
+            let (admitted, _) = self.insert_chunk(
+                ChunkKey::new(gb, chunk),
+                data,
+                Origin::Backend,
+                per_chunk_benefit,
+            );
             if admitted {
                 bytes += b;
                 loaded += 1;
@@ -338,14 +428,20 @@ impl CacheManager {
         })
     }
 
-    /// Executes a query through the active cache.
-    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, StoreError> {
-        let mut metrics = QueryMetrics::default();
-        let n_dims = self.grid.num_dims();
-        let writes_before = self.tables.updates();
+    /// The immutable probe phase: partitions the query's chunks into
+    /// computation plans and backend misses (paper: answerable / missing)
+    /// and applies the cost-based §5.2 arbitration — all against `&self`,
+    /// so any number of probes can run concurrently.
+    ///
+    /// The result is stamped with the current cache [version]; applying a
+    /// probe after an intervening mutation transparently re-probes.
+    ///
+    /// [version]: CacheManager::version
+    pub fn probe(&self, query: &Query) -> QueryProbe {
+        let t_probe = Instant::now();
+        let mut lookup_nodes = 0u64;
+        let mut chunks_demoted = 0usize;
 
-        // Phase 1: probe every chunk (paper: partition into answerable /
-        // missing).
         let t_lookup = Instant::now();
         let mut plans: Vec<ComputationPlan> = Vec::new();
         let mut missing: Vec<u64> = Vec::new();
@@ -356,9 +452,9 @@ impl CacheManager {
                 Some(plan) => plans.push(plan),
                 None => missing.push(chunk),
             }
-            metrics.lookup_nodes += stats.nodes_visited;
+            lookup_nodes += stats.nodes_visited;
         }
-        metrics.lookup_ns = t_lookup.elapsed().as_nanos() as u64;
+        let lookup_ns = t_lookup.elapsed().as_nanos() as u64;
 
         // Cost-based arbitration (§5.2): computable chunks whose in-cache
         // aggregation would cost more than the backend's marginal price are
@@ -373,22 +469,71 @@ impl CacheManager {
                     return true;
                 }
                 let cache_ms = plan.cost as f64 * per_tuple_us / 1000.0;
-                let Some(scan) = self.backend.estimate_scan(query.gb, &[plan.target.chunk])
-                else {
+                let Some(scan) = self.backend.estimate_scan(query.gb, &[plan.target.chunk]) else {
                     return true;
                 };
                 let marginal = cost_model.per_tuple_us * scan as f64 / 1000.0;
-                let overhead = if will_fetch { 0.0 } else { cost_model.per_query_ms };
+                let overhead = if will_fetch {
+                    0.0
+                } else {
+                    cost_model.per_query_ms
+                };
                 if cache_ms > marginal + overhead {
                     missing.push(plan.target.chunk);
                     will_fetch = true;
-                    metrics.chunks_demoted += 1;
+                    chunks_demoted += 1;
                     false
                 } else {
                     true
                 }
             });
         }
+
+        QueryProbe {
+            plans,
+            missing,
+            lookup_nodes,
+            chunks_demoted,
+            lookup_ns,
+            probe_ns: t_probe.elapsed().as_nanos() as u64,
+            version: self.version,
+        }
+    }
+
+    /// The mutating apply phase: executes a probe's plans (aggregating in
+    /// cache), batch-fetches its misses from the backend, admits results
+    /// under the replacement policy and keeps the count/cost tables
+    /// consistent.
+    ///
+    /// If the cache mutated since the probe was taken (version mismatch)
+    /// the probe is recomputed first, so the outcome — results, cache
+    /// state and virtual-time metrics — is always exactly what a fresh
+    /// sequential [`CacheManager::execute`] would produce.
+    pub fn apply(&mut self, query: &Query, probe: QueryProbe) -> Result<QueryResult, StoreError> {
+        let t_apply = Instant::now();
+        let probe = if probe.version == self.version {
+            probe
+        } else {
+            self.probe(query)
+        };
+        let QueryProbe {
+            plans,
+            missing,
+            lookup_nodes,
+            chunks_demoted,
+            lookup_ns,
+            probe_ns,
+            version: _,
+        } = probe;
+        let mut metrics = QueryMetrics {
+            lookup_ns,
+            probe_ns,
+            lookup_nodes,
+            chunks_demoted,
+            ..QueryMetrics::default()
+        };
+        let n_dims = self.grid.num_dims();
+        let writes_before = self.tables.updates();
 
         // Pin every plan leaf: inserting computed chunks mid-query must not
         // evict the inputs of a later plan.
@@ -410,8 +555,13 @@ impl CacheManager {
             } else {
                 metrics.chunks_computed += 1;
                 let t_agg = Instant::now();
-                let (data, tuples) =
-                    execute_plan(&self.grid, &self.cache, self.backend.agg(), plan);
+                let (data, tuples) = execute_plan_parallel(
+                    &self.grid,
+                    &self.cache,
+                    self.backend.agg(),
+                    plan,
+                    self.config.threads,
+                );
                 metrics.agg_ns += t_agg.elapsed().as_nanos() as u64;
                 metrics.tuples_aggregated += tuples;
                 let benefit_ms = tuples as f64 * self.config.cache_per_tuple_us / 1000.0;
@@ -471,11 +621,69 @@ impl CacheManager {
 
         metrics.complete_hit = missing.is_empty();
         metrics.table_writes = self.tables.updates() - writes_before;
+        metrics.apply_ns = t_apply.elapsed().as_nanos() as u64;
         self.finish_metrics(&mut metrics);
         Ok(QueryResult {
             data: result,
             metrics,
         })
+    }
+
+    /// Executes a query through the active cache: one probe, one apply.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, StoreError> {
+        let probe = self.probe(query);
+        self.apply(query, probe)
+    }
+
+    /// Executes a batch of queries: the probe phase runs for all queries
+    /// concurrently across [`ManagerConfig::threads`] scoped threads, then
+    /// the apply phase runs sequentially in submission order (the cache is
+    /// single-writer, like the paper's middle tier).
+    ///
+    /// Probes invalidated by an earlier query's admissions/evictions are
+    /// transparently re-probed during their apply, so the returned results,
+    /// the final cache contents and every virtual-time metric are
+    /// **identical** to running [`CacheManager::execute`] over the queries
+    /// in a loop — batching changes wall-clock time only. On a
+    /// read-mostly stream (warm cache, admissions refused) no re-probe
+    /// happens and every lookup runs in parallel.
+    pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, StoreError> {
+        let threads = self.config.threads.clamp(1, queries.len().max(1));
+        let probes: Vec<QueryProbe> = if threads <= 1 {
+            queries.iter().map(|q| self.probe(q)).collect()
+        } else {
+            let this: &CacheManager = self;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        scope.spawn(move || {
+                            queries
+                                .iter()
+                                .enumerate()
+                                .skip(t)
+                                .step_by(threads)
+                                .map(|(i, q)| (i, this.probe(q)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut slots: Vec<Option<QueryProbe>> = queries.iter().map(|_| None).collect();
+                for handle in handles {
+                    for (i, probe) in handle.join().expect("probe thread panicked") {
+                        slots[i] = Some(probe);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|p| p.expect("every query probed"))
+                    .collect()
+            })
+        };
+        queries
+            .iter()
+            .zip(probes)
+            .map(|(query, probe)| self.apply(query, probe))
+            .collect()
     }
 
     /// Executes a semantic value-range query: normalizes it to chunks,
@@ -502,8 +710,8 @@ impl CacheManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aggcache_store::{AggFn, BackendCostModel, FactTable};
     use aggcache_schema::{Dimension, Schema};
+    use aggcache_store::{AggFn, BackendCostModel, FactTable};
 
     fn make_backend() -> Backend {
         let schema = Arc::new(
@@ -558,7 +766,12 @@ mod tests {
 
     #[test]
     fn first_query_misses_second_hits() {
-        for strategy in [Strategy::NoAggregation, Strategy::Esm, Strategy::Vcm, Strategy::Vcmc] {
+        for strategy in [
+            Strategy::NoAggregation,
+            Strategy::Esm,
+            Strategy::Vcm,
+            Strategy::Vcmc,
+        ] {
             let mut mgr = manager(strategy);
             let base = mgr.grid().schema().lattice().base();
             let q = Query::new(base, vec![0, 1, 2]);
@@ -647,7 +860,9 @@ mod tests {
         assert_eq!(report.gb, base, "base has the most descendants and fits");
         // Everything is now a complete hit.
         let top = mgr.grid().schema().lattice().top();
-        let m = mgr.execute(&Query::full_group_by(&mgr.grid().clone(), top)).unwrap();
+        let m = mgr
+            .execute(&Query::full_group_by(&mgr.grid().clone(), top))
+            .unwrap();
         assert!(m.metrics.complete_hit);
     }
 
@@ -703,8 +918,12 @@ mod tests {
         config.optimizer = true;
         let mut mgr = CacheManager::new(backend, config);
         let grid = mgr.grid().clone();
-        mgr.execute(&Query::full_group_by(&grid, lattice.base())).unwrap();
-        let m = mgr.execute(&Query::full_group_by(&grid, top)).unwrap().metrics;
+        mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+            .unwrap();
+        let m = mgr
+            .execute(&Query::full_group_by(&grid, top))
+            .unwrap()
+            .metrics;
         assert_eq!(m.chunks_demoted, 1, "plan should be demoted");
         assert_eq!(m.chunks_missed, 1);
         assert!(!m.complete_hit);
@@ -721,8 +940,12 @@ mod tests {
         config2.cache_per_tuple_us = 50.0;
         config2.optimizer = false;
         let mut mgr2 = CacheManager::new(backend2, config2);
-        mgr2.execute(&Query::full_group_by(&grid, lattice.base())).unwrap();
-        let m2 = mgr2.execute(&Query::full_group_by(&grid, top)).unwrap().metrics;
+        mgr2.execute(&Query::full_group_by(&grid, lattice.base()))
+            .unwrap();
+        let m2 = mgr2
+            .execute(&Query::full_group_by(&grid, top))
+            .unwrap()
+            .metrics;
         assert_eq!(m2.chunks_demoted, 0);
         assert_eq!(m2.chunks_computed, 1);
         assert!(m2.complete_hit);
@@ -796,10 +1019,85 @@ mod tests {
     }
 
     #[test]
-    fn empty_chunk_results_are_negative_cached() {
-        let schema = Arc::new(
-            Schema::new(vec![Dimension::flat("x", 4).unwrap()], "m").unwrap(),
+    fn execute_batch_matches_sequential_loop() {
+        for threads in [1usize, 2, 8] {
+            for strategy in [
+                Strategy::NoAggregation,
+                Strategy::Esm,
+                Strategy::Vcm,
+                Strategy::Vcmc,
+            ] {
+                let config = ManagerConfig::new(strategy, PolicyKind::TwoLevel, usize::MAX >> 1)
+                    .with_threads(threads);
+                let mut seq = CacheManager::new(make_backend(), config);
+                let mut bat = CacheManager::new(make_backend(), config);
+                let lattice = seq.grid().schema().lattice().clone();
+                let grid = seq.grid().clone();
+                let queries: Vec<Query> = lattice
+                    .iter_ids()
+                    .map(|gb| Query::full_group_by(&grid, gb))
+                    .collect();
+                let seq_results: Vec<QueryResult> =
+                    queries.iter().map(|q| seq.execute(q).unwrap()).collect();
+                let bat_results = bat.execute_batch(&queries).unwrap();
+                assert_eq!(seq_results.len(), bat_results.len());
+                for (a, b) in seq_results.iter().zip(&bat_results) {
+                    assert_eq!(a.data, b.data, "{strategy:?} threads={threads}");
+                    assert_eq!(a.metrics.lookup_nodes, b.metrics.lookup_nodes);
+                    assert_eq!(a.metrics.complete_hit, b.metrics.complete_hit);
+                    assert_eq!(a.metrics.table_writes, b.metrics.table_writes);
+                }
+                let mut ka: Vec<ChunkKey> = seq.cache().keys().copied().collect();
+                let mut kb: Vec<ChunkKey> = bat.cache().keys().copied().collect();
+                ka.sort_unstable();
+                kb.sort_unstable();
+                assert_eq!(ka, kb, "cache contents diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn version_tracks_mutations_not_probes() {
+        let mut mgr = manager(Strategy::Vcm);
+        let base = mgr.grid().schema().lattice().base();
+        assert_eq!(mgr.version(), 0);
+        let q = Query::new(base, vec![0]);
+        let probe = mgr.probe(&q);
+        assert_eq!(mgr.version(), 0, "probing must not mutate");
+        assert!(!probe.is_complete_hit());
+        mgr.execute(&q).unwrap();
+        let after_fetch = mgr.version();
+        assert!(after_fetch > 0, "admission must bump the version");
+        // A pure direct-hit query mutates nothing (clock touches are not
+        // probe-relevant).
+        mgr.execute(&q).unwrap();
+        assert_eq!(mgr.version(), after_fetch);
+        let key = ChunkKey::new(base, 0);
+        mgr.evict_chunk(key);
+        assert!(
+            mgr.version() > after_fetch,
+            "eviction must bump the version"
         );
+    }
+
+    #[test]
+    fn stale_probe_is_reprobed_on_apply() {
+        let mut mgr = manager(Strategy::Vcm);
+        let base = mgr.grid().schema().lattice().base();
+        let q = Query::new(base, vec![0, 1]);
+        let stale = mgr.probe(&q);
+        // Mutate between probe and apply: the probe's version is now old.
+        mgr.execute(&Query::new(base, vec![0])).unwrap();
+        assert_ne!(stale.version(), mgr.version());
+        let r = mgr.apply(&q, stale).unwrap();
+        // A fresh probe sees chunk 0 cached: exactly one miss, not two.
+        assert_eq!(r.metrics.chunks_missed, 1);
+        assert_eq!(r.metrics.chunks_hit, 1);
+    }
+
+    #[test]
+    fn empty_chunk_results_are_negative_cached() {
+        let schema = Arc::new(Schema::new(vec![Dimension::flat("x", 4).unwrap()], "m").unwrap());
         let grid = Arc::new(ChunkGrid::build(schema, &[vec![1, 4]]).unwrap());
         let base = grid.schema().lattice().base();
         let mut cells = ChunkData::new(1);

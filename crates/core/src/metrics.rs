@@ -11,6 +11,16 @@
 pub struct QueryMetrics {
     /// Wall-clock time spent deciding hit/computable/miss for every chunk.
     pub lookup_ns: u64,
+    /// Wall-clock time of the whole immutable probe phase (lookup plus
+    /// cost-based arbitration). In a batched execution this is the probe
+    /// that actually produced the answer — a stale probe redone during
+    /// apply replaces the discarded one. Wall-clock only; never enters
+    /// [`QueryMetrics::total_ms`].
+    pub probe_ns: u64,
+    /// Wall-clock time of the mutating apply phase (aggregation, backend
+    /// fetch, admissions, table maintenance). Wall-clock only; never
+    /// enters [`QueryMetrics::total_ms`].
+    pub apply_ns: u64,
     /// Wall-clock time spent aggregating cached chunks.
     pub agg_ns: u64,
     /// Wall-clock time spent maintaining count/cost tables (inserts and
@@ -75,6 +85,10 @@ pub struct SessionMetrics {
     pub total_ms: f64,
     /// Sum of lookup times.
     pub lookup_ns: u64,
+    /// Sum of probe-phase wall-clock times.
+    pub probe_ns: u64,
+    /// Sum of apply-phase wall-clock times.
+    pub apply_ns: u64,
     /// Sum of aggregation times.
     pub agg_ns: u64,
     /// Sum of update times.
@@ -100,6 +114,8 @@ impl SessionMetrics {
         self.complete_hits += u64::from(q.complete_hit);
         self.total_ms += q.total_ms();
         self.lookup_ns += q.lookup_ns;
+        self.probe_ns += q.probe_ns;
+        self.apply_ns += q.apply_ns;
         self.agg_ns += q.agg_ns;
         self.update_ns += q.update_ns;
         self.backend_virtual_ms += q.backend_virtual_ms;

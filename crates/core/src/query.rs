@@ -133,7 +133,7 @@ mod tests {
         let vq = ValueQuery::new(base, vec![(3, 6), (1, 4)]);
         let cq = vq.to_chunk_query(&grid);
         assert_eq!(cq.chunks, vec![3, 4, 6, 7]); // (1,0),(1,1),(2,0),(2,1)
-        // Filtering keeps only in-range cells.
+                                                 // Filtering keeps only in-range cells.
         let mut data = ChunkData::new(2);
         data.push(&[3, 1], 1.0); // inside
         data.push(&[2, 1], 2.0); // a below range (chunk 1 overlap)
@@ -146,9 +146,7 @@ mod tests {
 
     #[test]
     fn single_value_query_is_one_chunk() {
-        let schema = Arc::new(
-            Schema::new(vec![Dimension::flat("a", 8).unwrap()], "m").unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Dimension::flat("a", 8).unwrap()], "m").unwrap());
         let grid = ChunkGrid::build(schema, &[vec![1, 4]]).unwrap();
         let base = grid.schema().lattice().base();
         let vq = ValueQuery::new(base, vec![(5, 6)]);

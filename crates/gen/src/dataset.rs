@@ -44,7 +44,9 @@ impl Dataset {
         let n_chunks = geom.total_chunks();
 
         // Per-chunk weights: capacity scaled by a density-controlled jitter.
-        let capacities: Vec<u64> = (0..n_chunks).map(|c| grid.base_cells_under(fact_gb, c)).collect();
+        let capacities: Vec<u64> = (0..n_chunks)
+            .map(|c| grid.base_cells_under(fact_gb, c))
+            .collect();
         let weights: Vec<f64> = capacities
             .iter()
             .map(|&cap| {
@@ -186,7 +188,11 @@ mod tests {
         let base = grid.schema().lattice().base();
         let ds = Dataset::generate(grid, base, 50, 1.0, 7);
         // Rounding per chunk can drift slightly; stay within 20%.
-        assert!(ds.num_tuples() >= 40 && ds.num_tuples() <= 60, "{}", ds.num_tuples());
+        assert!(
+            ds.num_tuples() >= 40 && ds.num_tuples() <= 60,
+            "{}",
+            ds.num_tuples()
+        );
     }
 
     #[test]
@@ -222,10 +228,20 @@ mod tests {
         let a = Dataset::generate(grid.clone(), base, 40, 0.7, 1);
         let b = Dataset::generate(grid.clone(), base, 40, 0.7, 2);
         let ca: Vec<_> = (0..grid.n_chunks(base))
-            .flat_map(|c| a.fact.scan_chunk(c).map(|(x, _)| x.to_vec()).collect::<Vec<_>>())
+            .flat_map(|c| {
+                a.fact
+                    .scan_chunk(c)
+                    .map(|(x, _)| x.to_vec())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let cb: Vec<_> = (0..grid.n_chunks(base))
-            .flat_map(|c| b.fact.scan_chunk(c).map(|(x, _)| x.to_vec()).collect::<Vec<_>>())
+            .flat_map(|c| {
+                b.fact
+                    .scan_chunk(c)
+                    .map(|(x, _)| x.to_vec())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         assert_ne!(ca, cb);
     }

@@ -153,7 +153,9 @@ pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
     let measure = r_str(&mut r)?;
     let n_dims = r_u32(&mut r)? as usize;
     if n_dims == 0 || n_dims > 64 {
-        return Err(IoError::BadFormat(format!("implausible dim count {n_dims}")));
+        return Err(IoError::BadFormat(format!(
+            "implausible dim count {n_dims}"
+        )));
     }
     let mut dims = Vec::with_capacity(n_dims);
     let mut chunk_counts = Vec::with_capacity(n_dims);
@@ -235,8 +237,16 @@ mod tests {
         assert_eq!(back.grid.total_chunk_census(), ds.grid.total_chunk_census());
         // Tuple-for-tuple identical after chunk clustering.
         for chunk in 0..ds.grid.n_chunks(ds.fact_gb) {
-            let a: Vec<_> = ds.fact.scan_chunk(chunk).map(|(c, v)| (c.to_vec(), v)).collect();
-            let b: Vec<_> = back.fact.scan_chunk(chunk).map(|(c, v)| (c.to_vec(), v)).collect();
+            let a: Vec<_> = ds
+                .fact
+                .scan_chunk(chunk)
+                .map(|(c, v)| (c.to_vec(), v))
+                .collect();
+            let b: Vec<_> = back
+                .fact
+                .scan_chunk(chunk)
+                .map(|(c, v)| (c.to_vec(), v))
+                .collect();
             assert_eq!(a, b, "chunk {chunk}");
         }
     }

@@ -41,10 +41,16 @@ impl Dimension {
         }
         for (l, &c) in cardinalities.iter().enumerate() {
             if c == 0 {
-                return Err(SchemaError::ZeroCardinality { dim: name, level: l });
+                return Err(SchemaError::ZeroCardinality {
+                    dim: name,
+                    level: l,
+                });
             }
             if l > 0 && c < cardinalities[l - 1] {
-                return Err(SchemaError::NonMonotoneCardinality { dim: name, level: l });
+                return Err(SchemaError::NonMonotoneCardinality {
+                    dim: name,
+                    level: l,
+                });
             }
         }
         if rollups.len() != cardinalities.len() || !rollups[0].is_empty() {
@@ -82,7 +88,10 @@ impl Dimension {
                 && map.last() == Some(&(parent_card - 1))
                 && map.windows(2).all(|w| w[1] - w[0] <= 1);
             if !onto {
-                return Err(SchemaError::NonSurjectiveRollup { dim: name, level: l });
+                return Err(SchemaError::NonSurjectiveRollup {
+                    dim: name,
+                    level: l,
+                });
             }
         }
         Ok(Self {

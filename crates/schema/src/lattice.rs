@@ -133,7 +133,8 @@ impl Lattice {
     /// maximum, the group-by one step more detailed along that dimension.
     /// Yields `(dimension, parent_id)`.
     pub fn parents(&self, id: GroupById) -> impl Iterator<Item = (usize, GroupById)> + '_ {
-        (0..self.radices.len()).filter(move |&d| u32::from(self.digit(id, d)) + 1 < self.radices[d])
+        (0..self.radices.len())
+            .filter(move |&d| u32::from(self.digit(id, d)) + 1 < self.radices[d])
             .map(move |d| (d, GroupById(id.0 + self.weights[d])))
     }
 
@@ -200,7 +201,8 @@ impl Lattice {
     /// Iterates over the ids of every group-by `<= base_level` componentwise
     /// (the sub-lattice from which a fact table at `base_level` can answer).
     pub fn iter_ids_under(&self, base: GroupById) -> impl Iterator<Item = GroupById> + '_ {
-        self.iter_ids().filter(move |&id| self.computable_from(id, base))
+        self.iter_ids()
+            .filter(move |&id| self.computable_from(id, base))
     }
 }
 
@@ -272,7 +274,11 @@ mod tests {
         let parents: Vec<Level> = l.parents(id).map(|(_, p)| l.level_of(p)).collect();
         assert_eq!(
             parents,
-            vec![vec![1, 2, 0, 1, 0], vec![0, 2, 1, 1, 0], vec![0, 2, 0, 1, 1]]
+            vec![
+                vec![1, 2, 0, 1, 0],
+                vec![0, 2, 1, 1, 0],
+                vec![0, 2, 0, 1, 1]
+            ]
         );
     }
 

@@ -15,7 +15,10 @@ pub struct Schema {
 
 impl Schema {
     /// Builds a schema from dimensions and a measure name.
-    pub fn new(dimensions: Vec<Dimension>, measure: impl Into<String>) -> Result<Self, SchemaError> {
+    pub fn new(
+        dimensions: Vec<Dimension>,
+        measure: impl Into<String>,
+    ) -> Result<Self, SchemaError> {
         if dimensions.is_empty() {
             return Err(SchemaError::NoDimensions);
         }
@@ -60,7 +63,10 @@ impl Schema {
 
     /// The base level tuple `(h_1, …, h_n)`.
     pub fn base_level(&self) -> Level {
-        self.dimensions.iter().map(Dimension::hierarchy_size).collect()
+        self.dimensions
+            .iter()
+            .map(Dimension::hierarchy_size)
+            .collect()
     }
 
     /// Validates a level tuple against this schema.
@@ -72,12 +78,9 @@ impl Schema {
     /// `Π card_d(l_d)`. Saturates at `u64::MAX`.
     pub fn cells_at(&self, level: &[u8]) -> u64 {
         debug_assert_eq!(level.len(), self.dimensions.len());
-        level
-            .iter()
-            .enumerate()
-            .fold(1u64, |acc, (d, &l)| {
-                acc.saturating_mul(u64::from(self.dimensions[d].cardinality(l)))
-            })
+        level.iter().enumerate().fold(1u64, |acc, (d, &l)| {
+            acc.saturating_mul(u64::from(self.dimensions[d].cardinality(l)))
+        })
     }
 
     /// Expected number of *non-empty* cells at `level` when `n` facts are

@@ -99,7 +99,9 @@ impl Codec {
         let n = schema.num_dims();
         let mut weights = vec![0u64; n];
         let mut total: u128 = 1;
-        let cards: Vec<u32> = (0..n).map(|d| schema.dimension(d).cardinality(level[d])).collect();
+        let cards: Vec<u32> = (0..n)
+            .map(|d| schema.dimension(d).cardinality(level[d]))
+            .collect();
         for d in (0..n).rev() {
             if total > u128::from(u64::MAX) {
                 return None;
@@ -147,6 +149,9 @@ pub struct Aggregator<'s> {
     /// touch a handful of levels, so a linear scan beats hashing.
     rollups: Vec<(Vec<u8>, Rollup)>,
     cells_added: u64,
+    /// `(shard, num_shards)` when this aggregator owns only the target
+    /// cells hashing to its shard; `None` accepts every cell.
+    shard: Option<(u32, u32)>,
 }
 
 impl<'s> Aggregator<'s> {
@@ -161,7 +166,36 @@ impl<'s> Aggregator<'s> {
             map_box: HashMap::new(),
             rollups: Vec::new(),
             cells_added: 0,
+            shard: None,
         }
+    }
+
+    /// Creates one shard of a partitioned aggregation: it consumes the same
+    /// input stream as [`Aggregator::new`] but accumulates only the target
+    /// cells it *owns* (cell identity hashed modulo `num_shards`).
+    ///
+    /// Because ownership partitions by **target cell** — not by input chunk
+    /// — every contribution to a given cell lands in the same shard, in the
+    /// same order the unsharded aggregator would see, so merging the
+    /// `num_shards` disjoint shards with [`Aggregator::merge`] reproduces
+    /// the single-threaded result *bit-exactly*, including non-associative
+    /// floating-point SUM.
+    pub fn new_sharded(
+        schema: &'s Schema,
+        target: &[u8],
+        agg: AggFn,
+        shard: u32,
+        num_shards: u32,
+    ) -> Self {
+        assert!(
+            num_shards > 0 && shard < num_shards,
+            "invalid shard {shard}/{num_shards}"
+        );
+        let mut a = Self::new(schema, target, agg);
+        if num_shards > 1 {
+            a.shard = Some((shard, num_shards));
+        }
+        a
     }
 
     fn rollup_for(&mut self, from: &[u8]) -> usize {
@@ -193,28 +227,100 @@ impl<'s> Aggregator<'s> {
             // roll-up table lives inside `self`.
             let rollup = &self.rollups[ri].1;
             rollup.map_into(coords, &mut dst);
-            self.cells_added += 1;
             match &self.codec {
                 Some(c) => {
                     let key = c.encode(&dst);
+                    if let Some((shard, n)) = self.shard {
+                        if key % u64::from(n) != u64::from(shard) {
+                            continue;
+                        }
+                    }
+                    self.cells_added += 1;
                     self.map_u64
                         .entry(key)
                         .and_modify(|acc| *acc = agg.combine(*acc, v))
                         .or_insert(v);
                 }
-                None => match self.map_box.get_mut(dst.as_slice()) {
-                    Some(acc) => *acc = agg.combine(*acc, v),
-                    None => {
-                        self.map_box.insert(dst.clone().into_boxed_slice(), v);
+                None => {
+                    if let Some((shard, n)) = self.shard {
+                        if fnv1a(&dst) % u64::from(n) != u64::from(shard) {
+                            continue;
+                        }
                     }
-                },
+                    self.cells_added += 1;
+                    match self.map_box.get_mut(dst.as_slice()) {
+                        Some(acc) => *acc = agg.combine(*acc, v),
+                        None => {
+                            self.map_box.insert(dst.clone().into_boxed_slice(), v);
+                        }
+                    }
+                }
             }
         }
+    }
+
+    /// Folds another aggregator (same schema, target and function) into this
+    /// one, combining cells present in both with the aggregate's combine
+    /// rule and summing the consumed-cell counts.
+    ///
+    /// When the two aggregators are *disjoint shards* of one partitioned
+    /// aggregation (see [`Aggregator::new_sharded`]) no key collides, so the
+    /// merged state — and hence [`Aggregator::finish`] — is bit-identical
+    /// to the unsharded computation. Overlapping aggregators merge with
+    /// correct SUM/COUNT/MIN/MAX semantics but, for floating-point SUM, in
+    /// merge order rather than input order.
+    pub fn merge(&mut self, other: Aggregator<'s>) {
+        assert_eq!(self.target, other.target, "merge targets differ");
+        assert_eq!(self.agg, other.agg, "merge aggregate functions differ");
+        let agg = self.agg;
+        for (key, v) in other.map_u64 {
+            self.map_u64
+                .entry(key)
+                .and_modify(|acc| *acc = agg.combine(*acc, v))
+                .or_insert(v);
+        }
+        for (coords, v) in other.map_box {
+            match self.map_box.get_mut(&coords) {
+                Some(acc) => *acc = agg.combine(*acc, v),
+                None => {
+                    self.map_box.insert(coords, v);
+                }
+            }
+        }
+        self.cells_added += other.cells_added;
     }
 
     /// Adds an entire [`ChunkData`].
     pub fn add_chunk(&mut self, from: &[u8], data: &ChunkData, lift: Lift) {
         self.add(from, data.iter(), lift);
+    }
+
+    /// Adds cells already rolled up to the target level and encoded with
+    /// the target level's `u64` codec, combining them in iteration order.
+    ///
+    /// This is the fast path of the two-phase parallel executor: a
+    /// partition pass rolls up and encodes each input cell exactly once,
+    /// and hands each shard its owned `(key, value)` runs in global input
+    /// order. Panics when the target level's cell space does not fit the
+    /// `u64` codec.
+    pub fn add_encoded(&mut self, pairs: impl IntoIterator<Item = (u64, f64)>) {
+        assert!(
+            self.codec.is_some(),
+            "add_encoded requires a u64 codec for the target level"
+        );
+        let agg = self.agg;
+        for (key, v) in pairs {
+            if let Some((shard, n)) = self.shard {
+                if key % u64::from(n) != u64::from(shard) {
+                    continue;
+                }
+            }
+            self.cells_added += 1;
+            self.map_u64
+                .entry(key)
+                .and_modify(|acc| *acc = agg.combine(*acc, v))
+                .or_insert(v);
+        }
     }
 
     /// Number of input cells consumed so far — the paper's aggregation cost
@@ -251,6 +357,20 @@ impl<'s> Aggregator<'s> {
     }
 }
 
+/// Deterministic FNV-1a over target-cell coordinates: the shard-ownership
+/// hash for levels whose cell space does not fit the `u64` codec.
+#[inline]
+fn fnv1a(coords: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &c in coords {
+        for b in c.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
 /// One-shot convenience: aggregates `sources` (level, cells) up to `target`.
 pub fn aggregate_to_level(
     schema: &Schema,
@@ -264,6 +384,128 @@ pub fn aggregate_to_level(
         a.add_chunk(level, data, lift);
     }
     a.finish()
+}
+
+/// Parallel, bit-exact counterpart of [`aggregate_to_level`]: a two-phase
+/// exchange across `threads` worker threads. Returns the aggregated cells
+/// and the number of input cells consumed (the paper's aggregation cost).
+///
+/// * **Phase A (partition)** — the input cell stream is split into
+///   `threads` contiguous ranges; each worker rolls its cells up to the
+///   target level, encodes them with the target codec and appends
+///   `(key, value)` to the owning shard's bucket (`key % threads`),
+///   preserving input order. Every cell is rolled up and encoded exactly
+///   once, so total work matches the sequential kernel.
+/// * **Phase B (reduce)** — each shard folds its buckets *in range order*
+///   into a partial [`Aggregator`]; the disjoint partials are then folded
+///   together with [`Aggregator::merge`].
+///
+/// Because ownership partitions by target cell and buckets are consumed in
+/// range order, every target cell sees its contributions in exactly the
+/// global input order — so the result is bit-identical to the sequential
+/// kernel, including non-associative floating-point SUM.
+///
+/// Falls back to the sequential kernel when `threads <= 1`, when the input
+/// is empty, or when the target level's cell space does not fit the `u64`
+/// codec.
+pub fn aggregate_to_level_parallel(
+    schema: &Schema,
+    sources: &[(&[u8], &ChunkData)],
+    target: &[u8],
+    agg: AggFn,
+    lift: Lift,
+    threads: usize,
+) -> (ChunkData, u64) {
+    let total: usize = sources.iter().map(|(_, d)| d.len()).sum();
+    let sequential = |schema: &Schema| {
+        let mut a = Aggregator::new(schema, target, agg);
+        for (level, data) in sources {
+            a.add_chunk(level, data, lift);
+        }
+        let cells = a.cells_added();
+        (a.finish(), cells)
+    };
+    let Some(codec) = Codec::new(schema, target) else {
+        return sequential(schema);
+    };
+    if threads <= 1 || total == 0 {
+        return sequential(schema);
+    }
+    let nshards = threads.min(total);
+    let n_dims = schema.num_dims();
+
+    // Phase A: contiguous global cell ranges → per-shard ordered runs.
+    let bounds: Vec<usize> = (0..=nshards).map(|i| i * total / nshards).collect();
+    let runs: Vec<Vec<Vec<(u64, f64)>>> = std::thread::scope(|s| {
+        let codec = &codec;
+        let bounds = &bounds;
+        let handles: Vec<_> = (0..nshards)
+            .map(|r| {
+                s.spawn(move || {
+                    let (lo, hi) = (bounds[r], bounds[r + 1]);
+                    // Expected bucket fill is range/nshards; slight headroom
+                    // avoids most reallocation without overcommitting.
+                    let headroom = (hi - lo) / nshards + (hi - lo) / (4 * nshards) + 8;
+                    let mut buckets: Vec<Vec<(u64, f64)>> =
+                        (0..nshards).map(|_| Vec::with_capacity(headroom)).collect();
+                    let mut rollups: Vec<(&[u8], Rollup)> = Vec::new();
+                    let mut dst = vec![0u32; n_dims];
+                    let mut pos = 0usize;
+                    for &(level, data) in sources {
+                        let len = data.len();
+                        let start = lo.saturating_sub(pos).min(len);
+                        let end = hi.saturating_sub(pos).min(len);
+                        if start < end {
+                            let ri = match rollups.iter().position(|(l, _)| *l == level) {
+                                Some(i) => i,
+                                None => {
+                                    rollups.push((level, Rollup::new(schema, level, target)));
+                                    rollups.len() - 1
+                                }
+                            };
+                            for i in start..end {
+                                let v = match lift {
+                                    Lift::Raw => agg.lift(data.value_of(i)),
+                                    Lift::Lifted => data.value_of(i),
+                                };
+                                rollups[ri].1.map_into(data.coords_of(i), &mut dst);
+                                let key = codec.encode(&dst);
+                                buckets[(key % nshards as u64) as usize].push((key, v));
+                            }
+                        }
+                        pos += len;
+                    }
+                    buckets
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Phase B: per-shard reduction in range order, then a disjoint merge.
+    let partials: Vec<Aggregator> = std::thread::scope(|s| {
+        let runs = &runs;
+        let handles: Vec<_> = (0..nshards)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut a =
+                        Aggregator::new_sharded(schema, target, agg, t as u32, nshards as u32);
+                    for range in runs {
+                        a.add_encoded(range[t].iter().copied());
+                    }
+                    a
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut it = partials.into_iter();
+    let mut merged = it.next().expect("nshards >= 1");
+    for partial in it {
+        merged.merge(partial);
+    }
+    let cells = merged.cells_added();
+    (merged.finish(), cells)
 }
 
 #[cfg(test)]
@@ -318,7 +560,9 @@ mod tests {
         assert_eq!(out.coords_of(0), &[0, 0]);
         assert_eq!(out.value_of(0), 10.0);
         // Cell (1, 2) = a in {2,3}, b = 2 → 22 + 32 = 54.
-        let idx = (0..out.len()).find(|&i| out.coords_of(i) == [1, 2]).unwrap();
+        let idx = (0..out.len())
+            .find(|&i| out.coords_of(i) == [1, 2])
+            .unwrap();
         assert_eq!(out.value_of(idx), 54.0);
     }
 
@@ -434,6 +678,70 @@ mod tests {
         d.push(&[1, 0], 3.0);
         let out = aggregate_to_level(&s, &[(&[2, 1], &d)], &[0, 0], AggFn::Min, Lift::Raw);
         assert_eq!(out.value_of(0), -5.0);
+    }
+
+    #[test]
+    fn sharded_merge_is_bit_identical_to_sequential() {
+        let s = schema();
+        let base = base_cells();
+        // Values that exercise float non-associativity.
+        let mut jagged = ChunkData::new(2);
+        for (i, (c, _)) in base.iter().enumerate() {
+            jagged.push(c, 0.1 + i as f64 * 1e10 + (i as f64).sin());
+        }
+        for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max] {
+            for target in [[0u8, 0], [1, 1], [2, 1], [0, 1]] {
+                let expected =
+                    aggregate_to_level(&s, &[(&[2, 1], &jagged)], &target, agg, Lift::Raw);
+                for nshards in [1u32, 2, 3, 8] {
+                    let mut shards: Vec<Aggregator> = (0..nshards)
+                        .map(|t| Aggregator::new_sharded(&s, &target, agg, t, nshards))
+                        .collect();
+                    for shard in &mut shards {
+                        shard.add_chunk(&[2, 1], &jagged, Lift::Raw);
+                    }
+                    let mut it = shards.into_iter();
+                    let mut merged = it.next().unwrap();
+                    for shard in it {
+                        merged.merge(shard);
+                    }
+                    assert_eq!(merged.cells_added(), jagged.len() as u64);
+                    let got = merged.finish();
+                    assert_eq!(got.len(), expected.len());
+                    for (i, (c, v)) in got.iter().enumerate() {
+                        assert_eq!(c, expected.coords_of(i));
+                        assert_eq!(
+                            v.to_bits(),
+                            expected.value_of(i).to_bits(),
+                            "{agg:?} {target:?} nshards={nshards} cell {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_combines_overlapping_cells() {
+        let s = schema();
+        let mut a = Aggregator::new(&s, &[0, 0], AggFn::Sum);
+        let mut b = Aggregator::new(&s, &[0, 0], AggFn::Sum);
+        let base = base_cells();
+        a.add_chunk(&[2, 1], &base, Lift::Raw);
+        b.add_chunk(&[2, 1], &base, Lift::Raw);
+        a.merge(b);
+        assert_eq!(a.cells_added(), 24);
+        let total: f64 = base.raw_values().iter().sum();
+        assert_eq!(a.finish().value_of(0), total * 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge aggregate functions differ")]
+    fn merge_rejects_mismatched_aggregates() {
+        let s = schema();
+        let mut a = Aggregator::new(&s, &[0, 0], AggFn::Sum);
+        let b = Aggregator::new(&s, &[0, 0], AggFn::Min);
+        a.merge(b);
     }
 
     #[test]

@@ -133,7 +133,8 @@ impl Backend {
             for (_, data) in fetched.chunks {
                 cells.append(&data);
             }
-            self.materialized.push(FactTable::load(grid.clone(), gb, cells));
+            self.materialized
+                .push(FactTable::load(grid.clone(), gb, cells));
         }
         // Prefer scanning the smallest usable table.
         self.materialized.sort_by_key(FactTable::num_tuples);
@@ -339,9 +340,7 @@ mod tests {
 
     #[test]
     fn empty_region_returns_empty_chunk() {
-        let schema = Arc::new(
-            Schema::new(vec![Dimension::flat("a", 4).unwrap()], "m").unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![Dimension::flat("a", 4).unwrap()], "m").unwrap());
         let grid = Arc::new(ChunkGrid::build(schema, &[vec![1, 2]]).unwrap());
         let base = grid.schema().lattice().base();
         let mut cells = ChunkData::new(1);
@@ -400,13 +399,9 @@ mod tests {
         let top = lattice.top();
         // Materialize (1,1): 2x2 values summed from 32 tuples.
         let gbs = [mid];
-        let b = Backend::new(
-            b.fact().clone(),
-            AggFn::Sum,
-            BackendCostModel::default(),
-        )
-        .with_materialized(&gbs)
-        .unwrap();
+        let b = Backend::new(b.fact().clone(), AggFn::Sum, BackendCostModel::default())
+            .with_materialized(&gbs)
+            .unwrap();
         assert_eq!(b.materialized_gbs(), vec![mid]);
         // The top chunk is now computed from the 8-cell aggregate (2 x 4
         // values at level (1,1)), not the 32-tuple fact table.
@@ -424,9 +419,13 @@ mod tests {
         let plain = backend();
         let lattice = plain.grid().schema().lattice().clone();
         let mid = lattice.id_of(&[1, 1]).unwrap();
-        let with_mv = Backend::new(plain.fact().clone(), AggFn::Sum, BackendCostModel::default())
-            .with_materialized(&[mid])
-            .unwrap();
+        let with_mv = Backend::new(
+            plain.fact().clone(),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        )
+        .with_materialized(&[mid])
+        .unwrap();
         for gb in lattice.iter_ids() {
             let a = plain.fetch_group_by(gb).unwrap();
             let b = with_mv.fetch_group_by(gb).unwrap();
@@ -458,9 +457,13 @@ mod tests {
         let lattice = plain.grid().schema().lattice().clone();
         let mid = lattice.id_of(&[1, 1]).unwrap();
         let coarse = lattice.id_of(&[0, 1]).unwrap();
-        let b = Backend::new(plain.fact().clone(), AggFn::Sum, BackendCostModel::default())
-            .with_materialized(&[mid, coarse])
-            .unwrap();
+        let b = Backend::new(
+            plain.fact().clone(),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        )
+        .with_materialized(&[mid, coarse])
+        .unwrap();
         // (0,1) has 4 cells, (1,1) has 8; the top should use (0,1).
         let r = b.fetch(lattice.top(), &[0]).unwrap();
         assert_eq!(r.tuples_scanned, 4);

@@ -15,6 +15,8 @@ mod aggregate;
 mod backend;
 mod fact;
 
-pub use aggregate::{aggregate_to_level, AggFn, Aggregator, Lift, Rollup};
+pub use aggregate::{
+    aggregate_to_level, aggregate_to_level_parallel, AggFn, Aggregator, Lift, Rollup,
+};
 pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
 pub use fact::FactTable;

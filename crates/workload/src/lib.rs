@@ -179,7 +179,10 @@ impl QueryStream {
                     .collect();
                 let d = dims[self.rng.gen_range(0..dims.len())];
                 let from = self.level[d];
-                let (lo, hi) = self.grid.dim(d).descend_range(from, from + 1, self.region[d]);
+                let (lo, hi) = self
+                    .grid
+                    .dim(d)
+                    .descend_range(from, from + 1, self.region[d]);
                 self.level[d] += 1;
                 // Cap the span: drilling multiplies the chunk count.
                 let hi = hi.min(lo + self.cfg.max_span);

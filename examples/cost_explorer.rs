@@ -53,7 +53,11 @@ fn main() {
         match cache_cost {
             Some(tuples) => {
                 let cache_ms = f64::from(tuples) * per_tuple_us / 1000.0;
-                let decision = if cache_ms <= backend_ms { "CACHE" } else { "BACKEND" };
+                let decision = if cache_ms <= backend_ms {
+                    "CACHE"
+                } else {
+                    "BACKEND"
+                };
                 println!(
                     "{:<12} {:>6} {:>8} tuples {:>11.2} ms {:>10}",
                     format!("{level:?}"),

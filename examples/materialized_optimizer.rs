@@ -48,7 +48,8 @@ fn session(optimizer: bool) -> (f64, usize, usize) {
     // Warm the cache with the full base, then ask for summaries: the cache
     // *can* compute each of them by aggregating ~150k cached tuples, but
     // the materialized tables answer some far cheaper.
-    mgr.execute(&Query::full_group_by(&grid, lattice.base())).unwrap();
+    mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+        .unwrap();
     let mut demoted = 0;
     let mut computed = 0;
     for level in [
@@ -60,7 +61,10 @@ fn session(optimizer: bool) -> (f64, usize, usize) {
         [2, 1, 0],
     ] {
         let gb = lattice.id_of(&level).unwrap();
-        let m = mgr.execute(&Query::full_group_by(&grid, gb)).unwrap().metrics;
+        let m = mgr
+            .execute(&Query::full_group_by(&grid, gb))
+            .unwrap()
+            .metrics;
         demoted += m.chunks_demoted;
         computed += m.chunks_computed;
     }
@@ -71,7 +75,10 @@ fn main() {
     println!("Warehouse with materialized aggregates at (1,1,0) and (0,0,1).\n");
     let (ms_off, _, computed_off) = session(false);
     let (ms_on, demoted_on, computed_on) = session(true);
-    println!("{:<26} {:>10} {:>10} {:>10}", "mode", "avg ms", "demoted", "computed");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "mode", "avg ms", "demoted", "computed"
+    );
     println!("{}", "-".repeat(60));
     println!(
         "{:<26} {:>10.2} {:>10} {:>10}",

@@ -41,14 +41,27 @@ fn main() {
     const CACHE: usize = 2 * 1_000_000; // 2 MB against a ~2 MB base table
 
     println!("60-query paper-mix stream, {TUPLES} tuples, 2 MB cache\n");
-    println!("{:<22} {:>14} {:>12}", "configuration", "complete hits", "avg ms");
+    println!(
+        "{:<22} {:>14} {:>12}",
+        "configuration", "complete hits", "avg ms"
+    );
     println!("{}", "-".repeat(50));
 
     let configs: [(&str, Strategy, PolicyKind, bool); 5] = [
-        ("no aggregation", Strategy::NoAggregation, PolicyKind::Benefit, false),
+        (
+            "no aggregation",
+            Strategy::NoAggregation,
+            PolicyKind::Benefit,
+            false,
+        ),
         ("ESM + two-level", Strategy::Esm, PolicyKind::TwoLevel, true),
         ("VCM + two-level", Strategy::Vcm, PolicyKind::TwoLevel, true),
-        ("VCMC + two-level", Strategy::Vcmc, PolicyKind::TwoLevel, true),
+        (
+            "VCMC + two-level",
+            Strategy::Vcmc,
+            PolicyKind::TwoLevel,
+            true,
+        ),
         ("VCMC + benefit", Strategy::Vcmc, PolicyKind::Benefit, false),
     ];
     for (name, strategy, policy, preload) in configs {

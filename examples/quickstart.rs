@@ -23,9 +23,11 @@ fn main() {
     let grid = manager.grid().clone();
     let lattice = grid.schema().lattice().clone();
 
-    println!("lattice: {} group-bys, {} chunks across all levels\n",
+    println!(
+        "lattice: {} group-bys, {} chunks across all levels\n",
         lattice.num_group_bys(),
-        grid.total_chunk_census());
+        grid.total_chunk_census()
+    );
 
     // 1. A detailed query over the whole base: nothing cached yet → all
     //    chunks fetched from the backend (one batched SQL statement).

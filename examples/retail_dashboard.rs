@@ -67,7 +67,11 @@ fn main() {
     step(&mut manager, "  drill down: by quarter", &q);
 
     // 3. Drill into product families for Q1-ish chunk.
-    let q = Query::from_region(&grid, gb(&[3, 0, 2, 0, 0]), &[(0, 4), (0, 1), (0, 1), (0, 1), (0, 1)]);
+    let q = Query::from_region(
+        &grid,
+        gb(&[3, 0, 2, 0, 0]),
+        &[(0, 4), (0, 1), (0, 1), (0, 1), (0, 1)],
+    );
     step(&mut manager, "    drill down: families, first quarters", &q);
 
     // 4. Roll back up to product groups by year — the classic roll-up the
@@ -76,7 +80,11 @@ fn main() {
     step(&mut manager, "  roll up: product line by year (again)", &q);
 
     // 5. Slide across time (proximity).
-    let q = Query::from_region(&grid, gb(&[3, 0, 2, 0, 0]), &[(0, 4), (0, 1), (1, 2), (0, 1), (0, 1)]);
+    let q = Query::from_region(
+        &grid,
+        gb(&[3, 0, 2, 0, 0]),
+        &[(0, 4), (0, 1), (1, 2), (0, 1), (0, 1)],
+    );
     step(&mut manager, "    proximity: families, later quarters", &q);
 
     // 6. Channel breakdown of the grand total.

@@ -95,8 +95,35 @@ impl AvgCache {
 
     /// Executes a query on both cubes and joins the cells into averages.
     pub fn execute(&mut self, query: &Query) -> Result<(ChunkData, AvgMetrics), StoreError> {
-        let mut sums = self.sum.execute(query)?;
-        let mut counts = self.count.execute(query)?;
+        let sums = self.sum.execute(query)?;
+        let counts = self.count.execute(query)?;
+        Ok(Self::join(sums, counts))
+    }
+
+    /// Executes a batch of queries on both cubes via
+    /// [`CacheManager::execute_batch`] — each cube probes its queries
+    /// concurrently and shards large aggregations across
+    /// [`ManagerConfig::threads`] — and joins each query's cells into
+    /// averages. Results are identical to calling [`AvgCache::execute`] in
+    /// a loop; the SUM+COUNT decomposition is preserved because both cubes
+    /// stay independently bit-exact.
+    pub fn execute_batch(
+        &mut self,
+        queries: &[Query],
+    ) -> Result<Vec<(ChunkData, AvgMetrics)>, StoreError> {
+        let sums = self.sum.execute_batch(queries)?;
+        let counts = self.count.execute_batch(queries)?;
+        Ok(sums
+            .into_iter()
+            .zip(counts)
+            .map(|(s, c)| Self::join(s, c))
+            .collect())
+    }
+
+    fn join(
+        mut sums: aggcache_core::QueryResult,
+        mut counts: aggcache_core::QueryResult,
+    ) -> (ChunkData, AvgMetrics) {
         sums.data.sort_by_coords();
         counts.data.sort_by_coords();
         debug_assert_eq!(
@@ -109,13 +136,13 @@ impl AvgCache {
             debug_assert_eq!(cs, cc, "cell sets must align");
             out.push(cs, if c > 0.0 { s / c } else { f64::NAN });
         }
-        Ok((
+        (
             out,
             AvgMetrics {
                 sum: sums.metrics,
                 count: counts.metrics,
             },
-        ))
+        )
     }
 }
 

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, ChunkNumber, PAPER_TUPLE_BYTES};
     pub use aggcache_core::{
         CacheManager, ComputationPlan, CostTable, CountTable, LookupStats, ManagerConfig,
-        PreloadReport, Query, QueryMetrics, QueryResult, SessionMetrics, Strategy, TableKind,
-        ValueQuery,
+        PreloadReport, Query, QueryMetrics, QueryProbe, QueryResult, SessionMetrics, Strategy,
+        TableKind, ValueQuery,
     };
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};

@@ -40,7 +40,11 @@ mod workload_bias {
         const N: u32 = 600;
         for _ in 0..N {
             let (q, _) = stream.next_with_kind();
-            total += lattice.level_of(q.gb).iter().map(|&l| u32::from(l)).sum::<u32>();
+            total += lattice
+                .level_of(q.gb)
+                .iter()
+                .map(|&l| u32::from(l))
+                .sum::<u32>();
         }
         f64::from(total) / f64::from(N)
     }
@@ -176,7 +180,9 @@ mod backend_api {
             .tuples(20)
             .build();
         let backend = Backend::new(ds.fact, AggFn::Sum, BackendCostModel::default());
-        let r = backend.fetch(ds.grid.schema().lattice().base(), &[]).unwrap();
+        let r = backend
+            .fetch(ds.grid.schema().lattice().base(), &[])
+            .unwrap();
         assert!(r.chunks.is_empty());
         assert_eq!(r.tuples_scanned, 0);
         assert_eq!(r.virtual_ms, backend.cost_model().per_query_ms);

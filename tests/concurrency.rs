@@ -1,0 +1,400 @@
+//! Equivalence and stress tests for the concurrent probe/aggregate
+//! pipeline.
+//!
+//! The contract under test (DESIGN.md §6): [`CacheManager::execute_batch`]
+//! — concurrent probes plus sharded plan execution — is *bit-identical* to
+//! a sequential [`CacheManager::execute`] loop over the same queries, for
+//! every lookup strategy, every replacement policy and any thread count.
+//! "Bit-identical" covers the returned cells (compared via `f64::to_bits`),
+//! the per-query virtual-time metrics, the final cache contents and the
+//! session totals.
+
+use aggcache::avg::AvgCache;
+use aggcache::core::{esm, LookupStats};
+use aggcache::prelude::*;
+use std::thread;
+
+/// A 3-dimensional cube small enough to sweep the full strategy × policy
+/// matrix quickly, but with enough lattice structure (3 × 2 × 2 levels)
+/// for drill-downs, roll-ups and computable hits.
+fn dataset() -> Dataset {
+    SyntheticSpec::new()
+        .dim("product", vec![1, 3, 12], vec![1, 3, 6])
+        .dim("store", vec![1, 8], vec![1, 4])
+        .dim("time", vec![1, 4], vec![1, 2])
+        .tuples(2_500)
+        .seed(7)
+        .build()
+}
+
+/// A deterministic paper-mix query stream over the dataset's grid.
+fn stream_queries(ds: &Dataset, n: usize, seed: u64) -> Vec<Query> {
+    let max_level = ds.grid.geom(ds.fact_gb).level().to_vec();
+    let mut stream = QueryStream::new(ds.grid.clone(), WorkloadConfig::paper(max_level, seed));
+    stream.take_queries(n)
+}
+
+fn manager_for(
+    ds: &Dataset,
+    strategy: Strategy,
+    policy: PolicyKind,
+    cache_bytes: usize,
+    threads: usize,
+) -> CacheManager {
+    let backend = Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default());
+    CacheManager::new(
+        backend,
+        ManagerConfig::new(strategy, policy, cache_bytes).with_threads(threads),
+    )
+}
+
+fn assert_data_bit_identical(a: &ChunkData, b: &ChunkData, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: cell counts differ");
+    for i in 0..a.len() {
+        assert_eq!(a.coords_of(i), b.coords_of(i), "{ctx}: coords of cell {i}");
+        assert_eq!(
+            a.value_of(i).to_bits(),
+            b.value_of(i).to_bits(),
+            "{ctx}: value bits of cell {i} ({} vs {})",
+            a.value_of(i),
+            b.value_of(i),
+        );
+    }
+}
+
+/// All deterministic (virtual-time and count) metric fields; the `*_ns`
+/// wall-clock fields are intentionally excluded.
+fn assert_metrics_identical(a: &QueryMetrics, b: &QueryMetrics, ctx: &str) {
+    assert_eq!(a.chunks_hit, b.chunks_hit, "{ctx}: chunks_hit");
+    assert_eq!(
+        a.chunks_computed, b.chunks_computed,
+        "{ctx}: chunks_computed"
+    );
+    assert_eq!(a.chunks_missed, b.chunks_missed, "{ctx}: chunks_missed");
+    assert_eq!(a.chunks_demoted, b.chunks_demoted, "{ctx}: chunks_demoted");
+    assert_eq!(a.complete_hit, b.complete_hit, "{ctx}: complete_hit");
+    assert_eq!(a.lookup_nodes, b.lookup_nodes, "{ctx}: lookup_nodes");
+    assert_eq!(a.table_writes, b.table_writes, "{ctx}: table_writes");
+    assert_eq!(
+        a.tuples_aggregated, b.tuples_aggregated,
+        "{ctx}: tuples_aggregated"
+    );
+    assert_eq!(a.backend_tuples, b.backend_tuples, "{ctx}: backend_tuples");
+    for (name, x, y) in [
+        (
+            "backend_virtual_ms",
+            a.backend_virtual_ms,
+            b.backend_virtual_ms,
+        ),
+        ("agg_virtual_ms", a.agg_virtual_ms, b.agg_virtual_ms),
+        (
+            "lookup_virtual_ms",
+            a.lookup_virtual_ms,
+            b.lookup_virtual_ms,
+        ),
+        (
+            "update_virtual_ms",
+            a.update_virtual_ms,
+            b.update_virtual_ms,
+        ),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: {name} ({x} vs {y})");
+    }
+}
+
+fn sorted_keys(mgr: &CacheManager) -> Vec<ChunkKey> {
+    let mut keys: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+    keys.sort_by_key(|k| (k.gb.index(), k.chunk));
+    keys
+}
+
+fn assert_caches_identical(a: &CacheManager, b: &CacheManager, ctx: &str) {
+    let ka = sorted_keys(a);
+    let kb = sorted_keys(b);
+    assert_eq!(ka, kb, "{ctx}: cached key sets differ");
+    for key in ka {
+        let da = &a.cache().peek(&key).unwrap().data;
+        let db = &b.cache().peek(&key).unwrap().data;
+        assert_data_bit_identical(da, db, &format!("{ctx}: cached chunk {key:?}"));
+    }
+}
+
+fn assert_sessions_identical(a: &SessionMetrics, b: &SessionMetrics, ctx: &str) {
+    assert_eq!(a.queries, b.queries, "{ctx}: session queries");
+    assert_eq!(
+        a.complete_hits, b.complete_hits,
+        "{ctx}: session complete_hits"
+    );
+    assert_eq!(
+        a.tuples_aggregated, b.tuples_aggregated,
+        "{ctx}: session tuples_aggregated"
+    );
+    assert_eq!(
+        a.backend_tuples, b.backend_tuples,
+        "{ctx}: session backend_tuples"
+    );
+    for (name, x, y) in [
+        ("total_ms", a.total_ms, b.total_ms),
+        (
+            "backend_virtual_ms",
+            a.backend_virtual_ms,
+            b.backend_virtual_ms,
+        ),
+        ("agg_virtual_ms", a.agg_virtual_ms, b.agg_virtual_ms),
+        (
+            "lookup_virtual_ms",
+            a.lookup_virtual_ms,
+            b.lookup_virtual_ms,
+        ),
+        (
+            "update_virtual_ms",
+            a.update_virtual_ms,
+            b.update_virtual_ms,
+        ),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{ctx}: session {name} ({x} vs {y})"
+        );
+    }
+}
+
+/// Runs the full equivalence check for one strategy: for each policy and
+/// thread count, `execute_batch` (in windows, so later batches see cache
+/// state mutated by earlier ones) must match a sequential `execute` loop.
+///
+/// The cache budget is deliberately small — a fraction of the base cube —
+/// so the stream churns through admissions and evictions and the version-
+/// stamped re-probe path is genuinely exercised.
+fn assert_equivalence_for(strategy: Strategy) {
+    let ds = dataset();
+    let queries = stream_queries(&ds, 36, 2_000);
+    let budget = 600 * PAPER_TUPLE_BYTES;
+    for policy in [PolicyKind::Lru, PolicyKind::Benefit, PolicyKind::TwoLevel] {
+        // Sequential baseline (threads = 1, plain execute loop).
+        let mut seq = manager_for(&ds, strategy, policy, budget, 1);
+        seq.preload_best().unwrap();
+        let seq_results: Vec<QueryResult> =
+            queries.iter().map(|q| seq.execute(q).unwrap()).collect();
+
+        for threads in [1usize, 2, 8] {
+            let ctx = format!("{strategy:?}/{policy:?}/threads={threads}");
+            let mut bat = manager_for(&ds, strategy, policy, budget, threads);
+            bat.preload_best().unwrap();
+            let mut bat_results = Vec::with_capacity(queries.len());
+            for window in queries.chunks(9) {
+                bat_results.extend(bat.execute_batch(window).unwrap());
+            }
+            assert_eq!(bat_results.len(), seq_results.len());
+            for (i, (s, b)) in seq_results.iter().zip(&bat_results).enumerate() {
+                let ctx = format!("{ctx}, query {i}");
+                assert_data_bit_identical(&s.data, &b.data, &ctx);
+                assert_metrics_identical(&s.metrics, &b.metrics, &ctx);
+            }
+            assert_caches_identical(&seq, &bat, &ctx);
+            assert_sessions_identical(seq.session(), bat.session(), &ctx);
+        }
+    }
+}
+
+#[test]
+fn no_aggregation_batch_equals_sequential() {
+    assert_equivalence_for(Strategy::NoAggregation);
+}
+
+#[test]
+fn esm_batch_equals_sequential() {
+    assert_equivalence_for(Strategy::Esm);
+}
+
+#[test]
+fn esmc_batch_equals_sequential() {
+    assert_equivalence_for(Strategy::Esmc { node_budget: None });
+}
+
+#[test]
+fn esmc_bounded_batch_equals_sequential() {
+    assert_equivalence_for(Strategy::Esmc {
+        node_budget: Some(64),
+    });
+}
+
+#[test]
+fn vcm_batch_equals_sequential() {
+    assert_equivalence_for(Strategy::Vcm);
+}
+
+#[test]
+fn vcmc_batch_equals_sequential() {
+    assert_equivalence_for(Strategy::Vcmc);
+}
+
+/// The AVG dual-cube wrapper preserves equivalence: batching both the SUM
+/// and COUNT cubes yields bit-identical averages to a sequential loop.
+#[test]
+fn avg_batch_equals_sequential() {
+    let ds = dataset();
+    let queries = stream_queries(&ds, 24, 4_000);
+    let config = ManagerConfig::new(
+        Strategy::Vcmc,
+        PolicyKind::TwoLevel,
+        900 * PAPER_TUPLE_BYTES,
+    );
+    let mut seq = AvgCache::new(ds.fact.clone(), BackendCostModel::default(), config);
+    let mut bat = AvgCache::new(
+        ds.fact.clone(),
+        BackendCostModel::default(),
+        config.with_threads(4),
+    );
+    seq.preload_best().unwrap();
+    bat.preload_best().unwrap();
+    let seq_results: Vec<_> = queries.iter().map(|q| seq.execute(q).unwrap()).collect();
+    let bat_results = bat.execute_batch(&queries).unwrap();
+    assert_eq!(seq_results.len(), bat_results.len());
+    for (i, ((sd, sm), (bd, bm))) in seq_results.iter().zip(&bat_results).enumerate() {
+        let ctx = format!("avg query {i}");
+        assert_data_bit_identical(sd, bd, &ctx);
+        assert_eq!(sm.complete_hit(), bm.complete_hit(), "{ctx}: complete_hit");
+        assert_eq!(
+            sm.total_ms().to_bits(),
+            bm.total_ms().to_bits(),
+            "{ctx}: total_ms"
+        );
+    }
+}
+
+/// All chunk keys of a grid, across every group-by.
+fn all_keys(grid: &ChunkGrid) -> Vec<ChunkKey> {
+    grid.schema()
+        .lattice()
+        .iter_ids()
+        .flat_map(|gb| (0..grid.n_chunks(gb)).map(move |c| ChunkKey::new(gb, c)))
+        .collect()
+}
+
+/// Stress test: many reader threads hammer the immutable `&self` probe
+/// phase while a writer inserts and evicts chunks between rounds. After
+/// every round the paper's Property 1 oracle must hold for every chunk:
+/// `count(c) > 0 ⇔ ESM(c)` — i.e. the count table the concurrent probes
+/// read is exactly as trustworthy as an exhaustive search.
+#[test]
+fn concurrent_probes_with_interleaved_writer_keep_count_oracle() {
+    let ds = dataset();
+    let mut mgr = manager_for(
+        &ds,
+        Strategy::Vcm,
+        PolicyKind::Benefit,
+        4_000 * PAPER_TUPLE_BYTES,
+        1,
+    );
+    let queries = stream_queries(&ds, 24, 99);
+    let keys = all_keys(&ds.grid);
+    let n_dims = ds.grid.num_dims();
+
+    let cell = |seed: u64| {
+        let mut d = ChunkData::new(n_dims);
+        d.push(&vec![(seed % 3) as u32; n_dims], seed as f64);
+        d
+    };
+
+    // Deterministic LCG so the insert/evict schedule is reproducible.
+    let mut lcg: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut step = || {
+        lcg = lcg
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        lcg >> 33
+    };
+
+    for round in 0..12 {
+        // Writer: mutate cache + tables between probe rounds.
+        for _ in 0..6 {
+            let r = step();
+            let key = keys[r as usize % keys.len()];
+            if mgr.cache().contains(&key) {
+                mgr.evict_chunk(key);
+            } else {
+                mgr.insert_chunk(key, cell(r), Origin::Backend, 1.0);
+            }
+        }
+
+        // Readers: 8 threads probing concurrently through `&self`.
+        thread::scope(|s| {
+            let mgr = &mgr;
+            let queries = &queries;
+            for t in 0..8usize {
+                s.spawn(move || {
+                    for q in queries.iter().cycle().skip(t).take(queries.len()) {
+                        let probe = mgr.probe(q);
+                        // Plans handed out by a probe may only reference
+                        // chunks that are actually cached right now.
+                        for plan in probe.plans() {
+                            for leaf in &plan.leaves {
+                                assert!(
+                                    mgr.cache().contains(leaf),
+                                    "probe plan references uncached leaf {leaf:?}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Oracle: VCM count table vs exhaustive search, for every chunk.
+        let counts = mgr.counts().expect("VCM maintains a count table");
+        for &key in &keys {
+            let mut stats = LookupStats::default();
+            let esm_says = esm(mgr.cache(), &ds.grid, key, &mut stats).is_some();
+            assert_eq!(
+                counts.is_computable(key),
+                esm_says,
+                "round {round}: count oracle violated at {key:?}"
+            );
+        }
+    }
+}
+
+/// Probing from many threads is deterministic: every thread sees the very
+/// same plans, misses and node counts as a single-threaded probe of the
+/// frozen cache state.
+#[test]
+fn concurrent_probes_are_deterministic() {
+    let ds = dataset();
+    let mut mgr = manager_for(
+        &ds,
+        Strategy::Vcmc,
+        PolicyKind::TwoLevel,
+        2_000 * PAPER_TUPLE_BYTES,
+        1,
+    );
+    mgr.preload_best().unwrap();
+    for q in stream_queries(&ds, 8, 11) {
+        mgr.execute(&q).unwrap();
+    }
+
+    let probe_queries = stream_queries(&ds, 16, 12);
+    let reference: Vec<QueryProbe> = probe_queries.iter().map(|q| mgr.probe(q)).collect();
+    thread::scope(|s| {
+        let mgr = &mgr;
+        let probe_queries = &probe_queries;
+        let reference = &reference;
+        for _ in 0..8 {
+            s.spawn(move || {
+                for (q, r) in probe_queries.iter().zip(reference) {
+                    let p = mgr.probe(q);
+                    assert_eq!(p.missing(), r.missing());
+                    assert_eq!(p.version(), r.version());
+                    assert_eq!(p.is_complete_hit(), r.is_complete_hit());
+                    assert_eq!(p.plans().len(), r.plans().len());
+                    for (pa, pb) in p.plans().iter().zip(r.plans()) {
+                        assert_eq!(pa.target, pb.target);
+                        assert_eq!(pa.leaves, pb.leaves);
+                        assert_eq!(pa.cost, pb.cost);
+                    }
+                }
+            });
+        }
+    });
+}

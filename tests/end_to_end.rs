@@ -22,8 +22,16 @@ fn run_session(
     preload: bool,
     queries: usize,
 ) -> (CacheManager, u64) {
-    let backend = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
-    let oracle = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
+    let backend = Backend::new(
+        dataset.fact.clone(),
+        AggFn::Sum,
+        BackendCostModel::default(),
+    );
+    let oracle = Backend::new(
+        dataset.fact.clone(),
+        AggFn::Sum,
+        BackendCostModel::default(),
+    );
     let mut mgr = CacheManager::new(backend, ManagerConfig::new(strategy, policy, cache_bytes));
     if preload {
         mgr.preload_best().unwrap();
@@ -53,10 +61,21 @@ fn run_session(
 #[test]
 fn apb_stream_all_strategies_all_policies() {
     let ds = dataset();
-    for strategy in [Strategy::NoAggregation, Strategy::Esm, Strategy::Vcm, Strategy::Vcmc] {
+    for strategy in [
+        Strategy::NoAggregation,
+        Strategy::Esm,
+        Strategy::Vcm,
+        Strategy::Vcmc,
+    ] {
         for policy in [PolicyKind::Lru, PolicyKind::Benefit, PolicyKind::TwoLevel] {
-            let (mgr, checked) =
-                run_session(&ds, strategy, policy, 200_000, policy == PolicyKind::TwoLevel, 40);
+            let (mgr, checked) = run_session(
+                &ds,
+                strategy,
+                policy,
+                200_000,
+                policy == PolicyKind::TwoLevel,
+                40,
+            );
             assert!(checked >= 8);
             assert_eq!(mgr.session().queries, 40);
         }
@@ -100,7 +119,10 @@ fn vcmc_costs_consistent_after_apb_stream() {
             }
         }
     }
-    assert!(inspected >= 10, "enough computable chunks inspected: {inspected}");
+    assert!(
+        inspected >= 10,
+        "enough computable chunks inspected: {inspected}"
+    );
 }
 
 #[test]

@@ -25,8 +25,16 @@ fn stream_against_oracle(strategy: Strategy, policy: PolicyKind, cache_bytes: us
         .seed(17)
         .build();
     let grid = dataset.grid.clone();
-    let oracle_backend = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
-    let backend = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
+    let oracle_backend = Backend::new(
+        dataset.fact.clone(),
+        AggFn::Sum,
+        BackendCostModel::default(),
+    );
+    let backend = Backend::new(
+        dataset.fact.clone(),
+        AggFn::Sum,
+        BackendCostModel::default(),
+    );
     let mut manager = CacheManager::new(backend, ManagerConfig::new(strategy, policy, cache_bytes));
 
     let max_level = grid.schema().base_level();

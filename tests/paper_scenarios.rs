@@ -27,12 +27,21 @@ fn figure1_closure_property() {
     assert_eq!(parents, vec![0, 4, 8]);
 
     // And the data computed from them equals a direct backend computation.
-    let backend = Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default());
+    let backend = Backend::new(
+        dataset.fact.clone(),
+        AggFn::Sum,
+        BackendCostModel::default(),
+    );
     let mut mgr = CacheManager::new(
-        Backend::new(dataset.fact.clone(), AggFn::Sum, BackendCostModel::default()),
+        Backend::new(
+            dataset.fact.clone(),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        ),
         ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, usize::MAX >> 1),
     );
-    mgr.execute(&Query::full_group_by(&grid, product_time)).unwrap();
+    mgr.execute(&Query::full_group_by(&grid, product_time))
+        .unwrap();
     let r = mgr.execute(&Query::new(time_only, vec![0])).unwrap();
     assert!(r.metrics.complete_hit);
     let expected = backend.fetch(time_only, &[0]).unwrap().chunks.remove(0).1;
@@ -102,7 +111,11 @@ fn example2_lattice_computability() {
         ([0, 1, 1], false), // B too aggregated
     ] {
         let src = lattice.id_of(&src_level).unwrap();
-        assert_eq!(lattice.computable_from(target, src), expect, "{src_level:?}");
+        assert_eq!(
+            lattice.computable_from(target, src),
+            expect,
+            "{src_level:?}"
+        );
     }
 }
 
@@ -162,7 +175,8 @@ fn example5_cost_based_path_choice() {
     );
     // Cache the full base (large chunks) and the full (0,1) level (small
     // chunks).
-    mgr.execute(&Query::full_group_by(&grid, lattice.base())).unwrap();
+    mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+        .unwrap();
     let b01 = lattice.id_of(&[0, 1]).unwrap();
     mgr.execute(&Query::full_group_by(&grid, b01)).unwrap();
 
@@ -171,7 +185,10 @@ fn example5_cost_based_path_choice() {
     let top_key = ChunkKey::new(lattice.top(), 0);
     let cost = mgr.costs().unwrap().cost(top_key).unwrap();
     assert!(cost <= 24, "expected the cheap path, got {cost} tuples");
-    let m = mgr.execute(&Query::new(lattice.top(), vec![0])).unwrap().metrics;
+    let m = mgr
+        .execute(&Query::new(lattice.top(), vec![0]))
+        .unwrap()
+        .metrics;
     assert!(m.complete_hit);
     assert!(m.tuples_aggregated <= 24);
 }

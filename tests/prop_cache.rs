@@ -18,12 +18,28 @@ fn chunk_of(cells: usize) -> ChunkData {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { id: u64, cells: usize, origin: Origin, benefit: f64 },
-    Get { id: u64 },
-    Remove { id: u64 },
-    Pin { id: u64 },
-    Unpin { id: u64 },
-    Boost { id: u64, amount: f64 },
+    Insert {
+        id: u64,
+        cells: usize,
+        origin: Origin,
+        benefit: f64,
+    },
+    Get {
+        id: u64,
+    },
+    Remove {
+        id: u64,
+    },
+    Pin {
+        id: u64,
+    },
+    Unpin {
+        id: u64,
+    },
+    Boost {
+        id: u64,
+        amount: f64,
+    },
 }
 
 fn arb_op() -> impl PropStrategy<Value = Op> {
@@ -32,7 +48,11 @@ fn arb_op() -> impl PropStrategy<Value = Op> {
             |(id, cells, backend, benefit)| Op::Insert {
                 id,
                 cells,
-                origin: if backend { Origin::Backend } else { Origin::Computed },
+                origin: if backend {
+                    Origin::Backend
+                } else {
+                    Origin::Computed
+                },
                 benefit,
             }
         ),
@@ -50,7 +70,12 @@ fn run_ops(policy: PolicyKind, budget: usize, ops: &[Op]) {
     let mut shadow: std::collections::HashMap<u64, (usize, Origin)> = Default::default();
     for op in ops {
         match *op {
-            Op::Insert { id, cells, origin, benefit } => {
+            Op::Insert {
+                id,
+                cells,
+                origin,
+                benefit,
+            } => {
                 let out = cache.insert(key(0, id), chunk_of(cells), origin, benefit);
                 if out.admitted {
                     shadow.insert(id, (cells, origin));
@@ -60,7 +85,8 @@ fn run_ops(policy: PolicyKind, budget: usize, ops: &[Op]) {
                 for ev in &out.evicted {
                     // Invariant: evicted chunks are never pinned…
                     assert!(!pinned.contains(&ev.chunk), "evicted a pinned chunk");
-                    let (_, evicted_origin) = shadow.remove(&ev.chunk).expect("evicted unknown chunk");
+                    let (_, evicted_origin) =
+                        shadow.remove(&ev.chunk).expect("evicted unknown chunk");
                     // …and under two-level, a computed insert never evicts
                     // backend chunks.
                     if policy == PolicyKind::TwoLevel && origin == Origin::Computed {

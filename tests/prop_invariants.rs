@@ -3,6 +3,7 @@
 
 use aggcache::core::{esm, vcm, vcmc, LookupStats};
 use aggcache::prelude::*;
+use aggcache::store::{aggregate_to_level, Aggregator};
 use proptest::prelude::*;
 // Our `Strategy` enum (from the prelude glob) shadows proptest's trait of
 // the same name; re-import the trait under an alias.
@@ -203,6 +204,140 @@ proptest! {
             }
             let level = lattice.level_of(id);
             prop_assert_eq!(lattice.num_paths_to_base(&level), Some(paths[id.index()]));
+        }
+    }
+
+    /// Sharded parallel aggregation is bit-exact: splitting an aggregation
+    /// across N target-cell-owning shards and merging the partials with
+    /// [`Aggregator::merge`] yields the same `f64` bit patterns as the
+    /// single-threaded [`aggregate_to_level`] kernel — for random chunk
+    /// sets, every aggregate function and 1/2/3/8 shards.
+    #[test]
+    fn sharded_merge_matches_sequential_kernel(
+        grid in arb_grid(),
+        chunks in proptest::collection::vec(
+            proptest::collection::vec((0u64..u64::MAX, -1.0e6f64..1.0e6), 1..16),
+            1..5,
+        ),
+    ) {
+        let schema = grid.schema();
+        let n_dims = grid.num_dims();
+        let base = schema.base_level();
+        // Random cells with jagged values (sums of these are order-
+        // sensitive in the last ulp, which is exactly what the ownership
+        // sharding must preserve). Coordinates stay within each
+        // dimension's base cardinality so roll-up tables apply.
+        let datas: Vec<ChunkData> = chunks
+            .iter()
+            .map(|cells| {
+                let mut d = ChunkData::new(n_dims);
+                for &(raw, v) in cells {
+                    let coords: Vec<u32> = (0..n_dims)
+                        .map(|k| {
+                            let card = schema.dimension(k).cardinality(base[k]);
+                            ((raw >> (8 * k)) as u32) % card
+                        })
+                        .collect();
+                    d.push(&coords, v);
+                }
+                d
+            })
+            .collect();
+        let sources: Vec<(&[u8], &ChunkData)> =
+            datas.iter().map(|d| (base.as_slice(), d)).collect();
+
+        for gb in schema.lattice().iter_ids() {
+            let target = schema.lattice().level_of(gb);
+            for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max] {
+                let expected = aggregate_to_level(schema, &sources, &target, agg, Lift::Lifted);
+                for nshards in [1u32, 2, 3, 8] {
+                    let mut shards: Vec<Aggregator> = (0..nshards)
+                        .map(|t| Aggregator::new_sharded(schema, &target, agg, t, nshards))
+                        .collect();
+                    for shard in &mut shards {
+                        for (level, data) in &sources {
+                            shard.add_chunk(level, data, Lift::Lifted);
+                        }
+                    }
+                    let mut it = shards.into_iter();
+                    let mut merged = it.next().unwrap();
+                    for partial in it {
+                        merged.merge(partial);
+                    }
+                    let total_inputs: u64 = datas.iter().map(|d| d.len() as u64).sum();
+                    prop_assert_eq!(
+                        merged.cells_added(),
+                        total_inputs,
+                        "every input cell must be owned by exactly one shard"
+                    );
+                    let got = merged.finish();
+                    prop_assert_eq!(got.len(), expected.len());
+                    for i in 0..got.len() {
+                        prop_assert_eq!(got.coords_of(i), expected.coords_of(i));
+                        prop_assert_eq!(
+                            got.value_of(i).to_bits(),
+                            expected.value_of(i).to_bits(),
+                            "{:?} nshards={} cell {}: {} vs {}",
+                            agg, nshards, i, got.value_of(i), expected.value_of(i)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The AVG dual-cube path stays bit-exact under sharding: a sharded
+    /// SUM cube joined with a sharded COUNT cube gives the same averages,
+    /// bit for bit, as the single-threaded SUM/COUNT join.
+    #[test]
+    fn sharded_avg_dual_cube_matches_sequential(
+        grid in arb_grid(),
+        cells in proptest::collection::vec((0u64..u64::MAX, -1.0e6f64..1.0e6), 1..40),
+    ) {
+        let schema = grid.schema();
+        let n_dims = grid.num_dims();
+        let base = schema.base_level();
+        let mut data = ChunkData::new(n_dims);
+        for &(raw, v) in &cells {
+            let coords: Vec<u32> = (0..n_dims)
+                .map(|k| {
+                    let card = schema.dimension(k).cardinality(base[k]);
+                    ((raw >> (8 * k)) as u32) % card
+                })
+                .collect();
+            data.push(&coords, v);
+        }
+        let sources: Vec<(&[u8], &ChunkData)> = vec![(base.as_slice(), &data)];
+        let top = schema.lattice().level_of(schema.lattice().top());
+
+        let cube = |agg: AggFn, nshards: u32| -> ChunkData {
+            let mut shards: Vec<Aggregator> = (0..nshards)
+                .map(|t| Aggregator::new_sharded(schema, &top, agg, t, nshards))
+                .collect();
+            for shard in &mut shards {
+                for (level, d) in &sources {
+                    shard.add_chunk(level, d, Lift::Lifted);
+                }
+            }
+            let mut it = shards.into_iter();
+            let mut merged = it.next().unwrap();
+            for partial in it {
+                merged.merge(partial);
+            }
+            merged.finish()
+        };
+        let avg_of = |nshards: u32| -> Vec<u64> {
+            let sums = cube(AggFn::Sum, nshards);
+            let counts = cube(AggFn::Count, nshards);
+            assert_eq!(sums.len(), counts.len());
+            (0..sums.len())
+                .map(|i| (sums.value_of(i) / counts.value_of(i)).to_bits())
+                .collect()
+        };
+
+        let sequential = avg_of(1);
+        for nshards in [2u32, 8] {
+            prop_assert_eq!(&avg_of(nshards), &sequential, "nshards={}", nshards);
         }
     }
 
