@@ -5,7 +5,7 @@
 use aggcache_bench::rig::{apb_dataset, manager_for};
 use aggcache_cache::{Origin, PolicyKind};
 use aggcache_chunks::ChunkKey;
-use aggcache_core::{CacheManager, LookupStats, Strategy};
+use aggcache_core::{CacheManager, Strategy};
 use aggcache_gen::Dataset;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -52,10 +52,7 @@ fn bench_lookup(c: &mut Criterion) {
                     warm(&mut mgr, &dataset);
                 }
                 group.bench_with_input(BenchmarkId::new(name, level_name), &gb, |b, &gb| {
-                    b.iter(|| {
-                        let mut stats = LookupStats::default();
-                        black_box(mgr.lookup_chunk(black_box(ChunkKey::new(gb, 0)), &mut stats))
-                    })
+                    b.iter(|| black_box(mgr.lookup_chunk(black_box(ChunkKey::new(gb, 0)))))
                 });
             }
         }

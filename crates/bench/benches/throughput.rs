@@ -13,7 +13,7 @@
 
 use aggcache_bench::rig::{apb_dataset, backend_for, MB};
 use aggcache_cache::PolicyKind;
-use aggcache_core::{CacheManager, ManagerConfig, Query, Strategy, PARALLEL_MIN_COST};
+use aggcache_core::{CacheManager, Query, Strategy, PARALLEL_MIN_COST};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -23,10 +23,12 @@ const BATCH: usize = 16;
 /// generous budget — used to size the real managers so the preload fills
 /// their cache *exactly*, leaving no room to admit computed chunks.
 fn preload_bytes(dataset: &aggcache_gen::Dataset) -> usize {
-    let mut mgr = CacheManager::new(
-        backend_for(dataset),
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 64 * MB),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(64 * MB)
+        .build(backend_for(dataset))
+        .expect("bench configuration is valid");
     mgr.preload_best()
         .expect("preload is backend-computable")
         .expect("a 64 MB budget fits some group-by");
@@ -38,9 +40,13 @@ fn manager_with_threads(
     cache_bytes: usize,
     threads: usize,
 ) -> CacheManager {
-    let config =
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, cache_bytes).with_threads(threads);
-    let mut mgr = CacheManager::new(backend_for(dataset), config);
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(cache_bytes)
+        .threads(threads)
+        .build(backend_for(dataset))
+        .expect("bench configuration is valid");
     mgr.preload_best().expect("preload is backend-computable");
     assert_eq!(
         mgr.cache().used_bytes(),

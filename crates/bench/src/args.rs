@@ -43,6 +43,11 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// The raw string value of `--key value`, if present.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// Whether a bare flag was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)

@@ -1,5 +1,5 @@
 //! Reproduces paper Fig7 via the replacement-policy experiment.
-use aggcache_bench::{args::Args, experiments::policy};
+use aggcache_bench::{args::Args, experiments::policy, trace::maybe_write_trace};
 
 fn main() {
     let a = Args::parse();
@@ -13,4 +13,5 @@ fn main() {
     };
     let results = policy::run_experiment(opts);
     println!("{}", policy::render_fig7(&results));
+    maybe_write_trace(&a, "fig7", opts.tuples, opts.seed);
 }

@@ -1,5 +1,5 @@
 //! Reproduces paper Fig9 via the three-scheme comparison experiment.
-use aggcache_bench::{args::Args, experiments::comparison};
+use aggcache_bench::{args::Args, experiments::comparison, trace::maybe_write_trace};
 
 fn main() {
     let a = Args::parse();
@@ -13,4 +13,5 @@ fn main() {
     };
     let results = comparison::run_experiment(opts);
     println!("{}", comparison::render_fig9(&results));
+    maybe_write_trace(&a, "fig9", opts.tuples, opts.seed);
 }

@@ -1,5 +1,5 @@
 //! Reproduces paper Table 1 (lookup times).
-use aggcache_bench::{args::Args, experiments::table1};
+use aggcache_bench::{args::Args, experiments::table1, trace::maybe_write_trace};
 
 fn main() {
     let a = Args::parse();
@@ -9,4 +9,5 @@ fn main() {
         esmc_budget: a.get("esmc-budget", table1::Opts::default().esmc_budget),
     };
     println!("{}", table1::run(opts));
+    maybe_write_trace(&a, "table1", opts.tuples, opts.seed);
 }

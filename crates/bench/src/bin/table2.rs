@@ -1,5 +1,5 @@
 //! Reproduces paper Table 2 (count/cost update times).
-use aggcache_bench::{args::Args, experiments::table2};
+use aggcache_bench::{args::Args, experiments::table2, trace::maybe_write_trace};
 
 fn main() {
     let a = Args::parse();
@@ -8,4 +8,5 @@ fn main() {
         seed: a.get("seed", table2::Opts::default().seed),
     };
     println!("{}", table2::run(opts));
+    maybe_write_trace(&a, "table2", opts.tuples, opts.seed);
 }

@@ -1,5 +1,5 @@
 //! Reproduces paper Table 3 (space overhead).
-use aggcache_bench::{args::Args, experiments::table3};
+use aggcache_bench::{args::Args, experiments::table3, trace::maybe_write_trace};
 
 fn main() {
     let a = Args::parse();
@@ -8,4 +8,5 @@ fn main() {
         seed: a.get("seed", table3::Opts::default().seed),
     };
     println!("{}", table3::run(opts));
+    maybe_write_trace(&a, "table3", opts.tuples, opts.seed);
 }

@@ -1,5 +1,5 @@
 //! Reproduces paper Table4 via the three-scheme comparison experiment.
-use aggcache_bench::{args::Args, experiments::comparison};
+use aggcache_bench::{args::Args, experiments::comparison, trace::maybe_write_trace};
 
 fn main() {
     let a = Args::parse();
@@ -13,4 +13,5 @@ fn main() {
     };
     let results = comparison::run_experiment(opts);
     println!("{}", comparison::render_table4(&results));
+    maybe_write_trace(&a, "table4", opts.tuples, opts.seed);
 }

@@ -15,7 +15,7 @@ use crate::report::{f2, Table};
 use crate::rig::{apb_dataset, backend_for, MB};
 use crate::stream::{run_stream, StreamRun};
 use aggcache_cache::PolicyKind;
-use aggcache_core::{CacheManager, ManagerConfig, Strategy};
+use aggcache_core::{CacheManager, Strategy};
 use aggcache_gen::Dataset;
 use aggcache_workload::{QueryStream, WorkloadConfig};
 
@@ -168,10 +168,12 @@ fn run_preload_variant(
     opts: Opts,
     mode: PreloadMode,
 ) -> (f64, f64) {
-    let mut mgr = CacheManager::new(
-        backend_for(dataset),
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, cache_bytes),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(cache_bytes)
+        .build(backend_for(dataset))
+        .expect("ablation configuration is valid");
     match mode {
         PreloadMode::Best => {
             let _ = mgr.preload_best().unwrap();

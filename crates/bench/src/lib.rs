@@ -20,3 +20,4 @@ pub mod experiments;
 pub mod report;
 pub mod rig;
 pub mod stream;
+pub mod trace;

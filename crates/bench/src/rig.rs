@@ -1,7 +1,7 @@
 //! Shared experiment setup: the APB-1 dataset and manager construction.
 
 use aggcache_cache::PolicyKind;
-use aggcache_core::{CacheManager, ManagerConfig, Strategy};
+use aggcache_core::{CacheManager, Strategy};
 use aggcache_gen::{Apb1Config, Dataset};
 use aggcache_store::{AggFn, Backend, BackendCostModel};
 
@@ -42,10 +42,12 @@ pub fn manager_for(
     policy: PolicyKind,
     cache_bytes: usize,
 ) -> CacheManager {
-    CacheManager::new(
-        backend_for(dataset),
-        ManagerConfig::new(strategy, policy, cache_bytes),
-    )
+    CacheManager::builder()
+        .strategy(strategy)
+        .policy(policy)
+        .cache_bytes(cache_bytes)
+        .build(backend_for(dataset))
+        .expect("bench configuration is valid")
 }
 
 /// Human label of a strategy for report tables.

@@ -2,9 +2,11 @@
 
 use crate::report::MinMaxAvg;
 use aggcache_cache::PolicyKind;
-use aggcache_core::{CacheManager, ManagerConfig, PreloadReport, Strategy};
+use aggcache_core::{CacheManager, PreloadReport, Strategy};
 use aggcache_gen::Dataset;
+use aggcache_obs::Tracer;
 use aggcache_workload::{QueryStream, WorkloadConfig};
+use std::sync::Arc;
 
 /// Configuration of one stream run.
 #[derive(Debug, Clone, Copy)]
@@ -125,10 +127,27 @@ pub fn run_stream_averaged(dataset: &Dataset, run: StreamRun, repeats: u64) -> A
 /// strategies and policies are compared on exactly the same workload, as
 /// in the paper.
 pub fn run_stream(dataset: &Dataset, run: StreamRun) -> StreamResult {
-    let mut config =
-        ManagerConfig::new(run.strategy, run.policy, run.cache_bytes).with_threads(run.threads);
-    config.group_boost = run.group_boost;
-    let mut mgr = CacheManager::new(crate::rig::backend_for(dataset), config);
+    run_stream_traced(dataset, run, None)
+}
+
+/// [`run_stream`] with an optional [`Tracer`] attached to the manager.
+///
+/// Tracing observes wall-clock time but never virtual time, so a traced
+/// run produces a bit-identical [`StreamResult`] to an untraced one.
+pub fn run_stream_traced(
+    dataset: &Dataset,
+    run: StreamRun,
+    tracer: Option<Arc<dyn Tracer>>,
+) -> StreamResult {
+    let mut mgr = CacheManager::builder()
+        .strategy(run.strategy)
+        .policy(run.policy)
+        .cache_bytes(run.cache_bytes)
+        .threads(run.threads)
+        .group_boost(run.group_boost)
+        .build(crate::rig::backend_for(dataset))
+        .expect("stream-run configuration is valid");
+    mgr.set_tracer(tracer);
     let preload = if run.preload {
         mgr.preload_best()
             .expect("preload group-bys are backend-computable")

@@ -1,0 +1,214 @@
+//! `--trace-out` support for the experiment binaries.
+//!
+//! Every experiment binary accepts `--trace-out <path>`. When present, the
+//! binary runs one *representative* traced stream over its dataset — the
+//! paper-default VCMC + two-level configuration at the 15 MB-equivalent
+//! budget — and writes the collected events plus the aggregated
+//! [`MetricsRegistry`] as a single JSON document:
+//!
+//! ```json
+//! {"meta": {...}, "metrics": {...}, "events": [...]}
+//! ```
+//!
+//! The traced run is separate from the experiment's own measurement loops,
+//! so a multi-configuration experiment (e.g. Fig. 7's policy sweep) never
+//! mixes events from different configurations into one trace. Tracing
+//! observes wall-clock time but no virtual time, so the traced stream's
+//! virtual-time outputs are bit-identical to the untraced run's.
+
+use crate::args::Args;
+use crate::rig::{apb_dataset, MB};
+use crate::stream::{run_stream_traced, StreamRun};
+use aggcache_cache::PolicyKind;
+use aggcache_core::Strategy;
+use aggcache_obs::json::{push_f64, push_str};
+use aggcache_obs::{FanoutTracer, MetricsRegistry, RecordingTracer, Tracer};
+use std::sync::Arc;
+
+/// Collects the events and aggregated metrics of one traced run and
+/// serializes them as a single JSON document.
+pub struct TraceSink {
+    recorder: Arc<RecordingTracer>,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self {
+            recorder: Arc::new(RecordingTracer::new()),
+            registry: Arc::new(MetricsRegistry::new()),
+        }
+    }
+
+    /// The tracer to attach: fans every event out to the raw event
+    /// recorder and the metrics registry.
+    pub fn tracer(&self) -> Arc<dyn Tracer> {
+        Arc::new(FanoutTracer::new(vec![
+            self.recorder.clone() as Arc<dyn Tracer>,
+            self.registry.clone() as Arc<dyn Tracer>,
+        ]))
+    }
+
+    /// Number of events recorded so far.
+    pub fn events_recorded(&self) -> usize {
+        self.recorder.len()
+    }
+
+    /// Renders the `{"meta", "metrics", "events"}` document. `meta`
+    /// entries are written as JSON strings or numbers based on whether the
+    /// value parses as `f64`.
+    pub fn render(&self, meta: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(1 << 16);
+        out.push_str("{\"meta\":{");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, k);
+            out.push(':');
+            match v.parse::<f64>() {
+                Ok(n) if n.is_finite() => push_f64(&mut out, n),
+                _ => push_str(&mut out, v),
+            }
+        }
+        out.push_str("},\"metrics\":");
+        self.registry.write_json(&mut out);
+        out.push_str(",\"events\":[");
+        for (i, event) in self.recorder.events().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            event.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the document and writes it to `path`.
+    pub fn write(&self, path: &str, meta: &[(&str, String)]) -> std::io::Result<()> {
+        std::fs::write(path, self.render(meta))
+    }
+}
+
+/// If `--trace-out <path>` was passed, runs the representative traced
+/// stream for `experiment` and writes the trace file, returning the path.
+///
+/// The stream uses the paper-default configuration (VCMC, two-level policy
+/// with pre-load, 100 queries) over a fresh copy of the experiment's
+/// dataset, with the 15 MB paper budget scaled to the dataset size the
+/// same way the figure experiments scale their cache sweeps.
+pub fn maybe_write_trace(args: &Args, experiment: &str, tuples: u64, seed: u64) -> Option<String> {
+    let path = args.value("trace-out")?.to_string();
+    let dataset = apb_dataset(tuples, seed);
+    // 15 MB : 1.1 M tuples, as in the cache-size sweeps.
+    let cache_bytes = ((15 * MB) as f64 * tuples as f64 / 1_100_000.0).max(64.0 * 1024.0) as usize;
+    let run = StreamRun {
+        threads: args.threads(),
+        ..StreamRun::paper(Strategy::Vcmc, PolicyKind::TwoLevel, cache_bytes)
+    };
+    let sink = TraceSink::new();
+    let result = run_stream_traced(&dataset, run, Some(sink.tracer()));
+    let meta = [
+        ("experiment", experiment.to_string()),
+        ("tuples", tuples.to_string()),
+        ("seed", seed.to_string()),
+        ("queries", run.queries.to_string()),
+        ("workload_seed", run.seed.to_string()),
+        ("cache_bytes", cache_bytes.to_string()),
+        ("strategy", "vcmc".to_string()),
+        ("policy", "two_level".to_string()),
+        ("threads", run.threads.to_string()),
+        ("complete_hit_pct", result.complete_hit_pct.to_string()),
+        ("avg_ms", result.avg_ms.to_string()),
+    ];
+    sink.write(&path, &meta)
+        .unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+    eprintln!(
+        "trace: {} events from {} queries -> {path}",
+        sink.events_recorded(),
+        run.queries
+    );
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_obs::json::JsonValue;
+    use aggcache_obs::Event;
+
+    #[test]
+    fn rendered_trace_parses_and_round_trips_meta() {
+        let sink = TraceSink::new();
+        sink.tracer().emit(&Event::GroupBoost {
+            chunks: 3,
+            amount: 2.5,
+        });
+        let doc = sink.render(&[
+            ("experiment", "table1".to_string()),
+            ("tuples", "20000".to_string()),
+        ]);
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(
+            v.get("meta").unwrap().get("experiment").unwrap().as_str(),
+            Some("table1")
+        );
+        assert_eq!(
+            v.get("meta").unwrap().get("tuples").unwrap().as_f64(),
+            Some(20000.0)
+        );
+        let events = v.get("events").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("type").unwrap().as_str(), Some("group_boost"));
+        // The registry saw the same event through the fanout.
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("group_boosts")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn traced_stream_writes_rich_trace() {
+        let dataset = apb_dataset(4_000, 5);
+        let sink = TraceSink::new();
+        let run = StreamRun {
+            queries: 10,
+            ..StreamRun::paper(Strategy::Vcmc, PolicyKind::TwoLevel, 256 * 1024)
+        };
+        let result = run_stream_traced(&dataset, run, Some(sink.tracer()));
+        assert!(sink.events_recorded() > 0);
+        let doc = sink.render(&[("avg_ms", result.avg_ms.to_string())]);
+        let v = JsonValue::parse(&doc).unwrap();
+        let events = v.get("events").unwrap().as_arr().unwrap();
+        let kinds: std::collections::HashSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("type").and_then(|t| t.as_str()))
+            .collect();
+        for expected in ["probe_start", "probe_end", "query_done"] {
+            assert!(kinds.contains(expected), "missing {expected}: {kinds:?}");
+        }
+        assert_eq!(
+            v.get("metrics")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("probe_start")
+                .unwrap()
+                .as_f64(),
+            Some(10.0)
+        );
+    }
+}

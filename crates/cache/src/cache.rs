@@ -1,6 +1,8 @@
 use crate::clock::{ClockRing, MAX_CLOCK};
 use aggcache_chunks::{ChunkData, ChunkKey};
+use aggcache_obs::{Event, Tier, Tracer};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Where a cached chunk came from — the paper's two benefit classes (§6.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +80,16 @@ pub struct ChunkCache {
     benefit_count: u64,
     hits: u64,
     misses: u64,
+    /// Optional event sink; `None` keeps every emission site down to one
+    /// branch.
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+fn tier_of(origin: Origin) -> Tier {
+    match origin {
+        Origin::Backend => Tier::Fetched,
+        Origin::Computed => Tier::Computed,
+    }
 }
 
 impl ChunkCache {
@@ -101,7 +113,13 @@ impl ChunkCache {
             benefit_count: 0,
             hits: 0,
             misses: 0,
+            tracer: None,
         }
+    }
+
+    /// Installs (or removes) the trace event sink.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {
+        self.tracer = tracer;
     }
 
     /// The policy in use.
@@ -200,9 +218,14 @@ impl ChunkCache {
     pub fn boost_group<'a>(&mut self, keys: impl Iterator<Item = &'a ChunkKey>, benefit: f64) {
         let amount = self.normalized(benefit);
         if let Rings::TwoLevel { backend, computed } = &mut self.rings {
+            let mut chunks = 0u64;
             for key in keys {
                 backend.boost(key, amount);
                 computed.boost(key, amount);
+                chunks += 1;
+            }
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::GroupBoost { chunks, amount });
             }
         }
     }
@@ -225,6 +248,7 @@ impl ChunkCache {
         }
 
         if bytes > self.budget {
+            self.trace_insert(key, origin, bytes, false);
             return InsertOutcome {
                 admitted: false,
                 evicted,
@@ -235,6 +259,7 @@ impl ChunkCache {
         // victim classes this origin may evict?
         let need = (self.used + bytes).saturating_sub(self.budget);
         if need > 0 && self.freeable_bytes(origin) < need {
+            self.trace_insert(key, origin, bytes, false);
             return InsertOutcome {
                 admitted: false,
                 evicted,
@@ -245,12 +270,14 @@ impl ChunkCache {
             let victim = self.find_victim(origin);
             match victim {
                 Some(v) => {
+                    self.trace_evict(&v);
                     self.remove_internal(&v);
                     evicted.push(v);
                 }
                 None => {
                     // Should not happen given the precheck, but stay safe:
                     // refuse admission rather than over-commit.
+                    self.trace_insert(key, origin, bytes, false);
                     return InsertOutcome {
                         admitted: false,
                         evicted,
@@ -280,10 +307,50 @@ impl ChunkCache {
                 bytes,
             },
         );
+        self.trace_insert(key, origin, bytes, true);
         InsertOutcome {
             admitted: true,
             evicted,
         }
+    }
+
+    fn trace_insert(&self, key: ChunkKey, origin: Origin, bytes: usize, admitted: bool) {
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(&Event::CacheInsert {
+                gb: key.gb.0,
+                chunk: key.chunk,
+                tier: tier_of(origin),
+                bytes: bytes as u64,
+                admitted,
+            });
+        }
+    }
+
+    /// Emits the `Evict` event for a policy victim — called before
+    /// removal, while the entry and its ring state are still readable.
+    fn trace_evict(&self, victim: &ChunkKey) {
+        let Some(tracer) = &self.tracer else {
+            return;
+        };
+        let tier = self
+            .map
+            .get(victim)
+            .map(|e| tier_of(e.origin))
+            .unwrap_or(Tier::Fetched);
+        let (clock_round, clock) = match &self.rings {
+            Rings::Lru(r) | Rings::Benefit(r) => (r.rounds(), r.clock_of(victim)),
+            Rings::TwoLevel { backend, computed } => match computed.clock_of(victim) {
+                Some(c) => (computed.rounds(), Some(c)),
+                None => (backend.rounds(), backend.clock_of(victim)),
+            },
+        };
+        tracer.emit(&Event::Evict {
+            gb: victim.gb.0,
+            chunk: victim.chunk,
+            tier,
+            clock_round,
+            clock: clock.unwrap_or(0.0),
+        });
     }
 
     /// Removes a chunk explicitly; returns whether it was present.
@@ -526,6 +593,57 @@ mod tests {
         assert!(!c.remove(&k(1)));
         assert_eq!(c.used_bytes(), 0);
         assert!(c.insert(k(2), chunk(20), Origin::Backend, 1.0).admitted);
+    }
+
+    #[test]
+    fn tracer_sees_inserts_evictions_and_boosts() {
+        use aggcache_obs::RecordingTracer;
+        let recorder = Arc::new(RecordingTracer::new());
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        c.set_tracer(Some(recorder.clone()));
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        c.insert(k(2), chunk(10), Origin::Computed, 1.0);
+        // Forces an eviction: the computed chunk falls first.
+        c.insert(k(3), chunk(10), Origin::Backend, 1.0);
+        c.boost_group([k(1)].iter(), 5.0);
+        let events = recorder.events();
+        let inserts: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::CacheInsert {
+                    chunk, admitted, ..
+                } => Some((*chunk, *admitted)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(inserts, vec![(1, true), (2, true), (3, true)]);
+        let evicts: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Evict { chunk, tier, .. } => Some((*chunk, *tier)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(evicts, vec![(2, Tier::Computed)]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::GroupBoost { chunks: 1, .. })));
+    }
+
+    #[test]
+    fn refused_insert_is_traced_as_refused() {
+        use aggcache_obs::RecordingTracer;
+        let recorder = Arc::new(RecordingTracer::new());
+        let mut c = ChunkCache::new(100, PolicyKind::TwoLevel);
+        c.set_tracer(Some(recorder.clone()));
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        assert!(matches!(
+            recorder.events().last(),
+            Some(Event::CacheInsert {
+                admitted: false,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub struct ClockRing {
     clocks: Vec<f64>,
     pos: HashMap<ChunkKey, usize>,
     hand: usize,
+    rounds: u64,
 }
 
 /// Upper clamp on clock values: together with [`SWEEP_DECREMENT`] this
@@ -90,6 +91,22 @@ impl ClockRing {
         self.pos.get(key).map(|&i| self.clocks[i])
     }
 
+    /// Completed sweep rounds: how many times the hand wrapped past the
+    /// end of the ring while searching for victims. Exported in the
+    /// `Evict` trace event.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Advances the hand one slot, counting full wraps as sweep rounds.
+    fn advance(&mut self) {
+        self.hand += 1;
+        if self.hand >= self.keys.len() {
+            self.hand = 0;
+            self.rounds += 1;
+        }
+    }
+
     /// Sweeps for a victim, skipping entries for which `skip` returns true
     /// (pinned chunks). Decrements the clocks it passes over. Returns the
     /// victim key *without removing it* — callers remove via
@@ -110,7 +127,7 @@ impl ClockRing {
             }
             let key = self.keys[self.hand];
             if skip(&key) {
-                self.hand = (self.hand + 1) % n;
+                self.advance();
                 skipped_all_pass += 1;
                 if skipped_all_pass >= n {
                     // One full pass where everything was pinned.
@@ -123,7 +140,7 @@ impl ClockRing {
                 return Some(key);
             }
             self.clocks[self.hand] -= SWEEP_DECREMENT;
-            self.hand = (self.hand + 1) % n;
+            self.advance();
         }
         // All clocks must have reached zero by now; take the first
         // non-skipped entry.
@@ -226,6 +243,18 @@ mod tests {
         assert_eq!(r.clock_of(&k(1)), Some(MAX_CLOCK));
         r.boost(&k(1), 1e12);
         assert_eq!(r.clock_of(&k(1)), Some(MAX_CLOCK));
+    }
+
+    #[test]
+    fn rounds_count_full_sweeps() {
+        let mut r = ClockRing::new();
+        r.insert(k(1), 1.0);
+        r.insert(k(2), 1.0);
+        assert_eq!(r.rounds(), 0);
+        // Clocks at 1.0 need 4 decrements each: the sweep wraps several
+        // times before a victim emerges.
+        let _ = r.find_victim(|_| false).unwrap();
+        assert!(r.rounds() >= 1);
     }
 
     #[test]

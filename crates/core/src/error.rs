@@ -1,0 +1,122 @@
+use aggcache_schema::SchemaError;
+use aggcache_store::StoreError;
+use std::fmt;
+
+/// Errors raised while validating a [`crate::CacheManagerBuilder`] /
+/// [`crate::ManagerConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// No cache budget was supplied to the builder.
+    MissingCacheBudget,
+    /// A cache budget of zero bytes can never admit a chunk.
+    ZeroCacheBudget,
+    /// Batched execution needs at least one worker thread.
+    ZeroThreads,
+    /// [`crate::Strategy::Esmc`] with a node budget of zero gives up on
+    /// every lookup; use `None` for the paper's unbounded search.
+    ZeroNodeBudget,
+    /// A virtual-time rate is negative or not finite.
+    InvalidRate {
+        /// Which rate field was invalid.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingCacheBudget => {
+                write!(f, "no cache budget configured (call cache_bytes)")
+            }
+            Self::ZeroCacheBudget => write!(f, "cache budget must be > 0 bytes"),
+            Self::ZeroThreads => write!(f, "thread count must be >= 1"),
+            Self::ZeroNodeBudget => {
+                write!(f, "ESMC node budget must be > 0 (None = unbounded)")
+            }
+            Self::InvalidRate { name, value } => {
+                write!(f, "rate `{name}` must be finite and >= 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The unified error surface of the cache manager: everything
+/// [`crate::CacheManager::execute`], [`crate::CacheManager::execute_batch`]
+/// and [`crate::CacheManager::execute_values`] (plus the pre-load entry
+/// points and the builder) can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheError {
+    /// The backend could not answer a fetch.
+    Store(StoreError),
+    /// A query referenced levels the schema does not have.
+    Schema(SchemaError),
+    /// The manager configuration was invalid.
+    Config(ConfigError),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Store(e) => write!(f, "backend error: {e}"),
+            Self::Schema(e) => write!(f, "schema error: {e}"),
+            Self::Config(e) => write!(f, "config error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Store(e) => Some(e),
+            Self::Schema(e) => Some(e),
+            Self::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for CacheError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+impl From<SchemaError> for CacheError {
+    fn from(e: SchemaError) -> Self {
+        Self::Schema(e)
+    }
+}
+
+impl From<ConfigError> for CacheError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_include_cause() {
+        let e = CacheError::from(StoreError::NotComputable {
+            requested: aggcache_schema::GroupById(1),
+            fact: aggcache_schema::GroupById(0),
+        });
+        assert!(e.to_string().contains("backend error"));
+        let e = CacheError::from(ConfigError::ZeroThreads);
+        assert!(e.to_string().contains("thread count"));
+        let e = CacheError::from(SchemaError::NoDimensions);
+        assert!(e.to_string().contains("schema error"));
+    }
+
+    #[test]
+    fn source_chains_to_inner() {
+        use std::error::Error;
+        let e = CacheError::from(ConfigError::MissingCacheBudget);
+        assert!(e.source().is_some());
+    }
+}

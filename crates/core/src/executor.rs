@@ -1,7 +1,8 @@
 use crate::ComputationPlan;
 use aggcache_cache::ChunkCache;
 use aggcache_chunks::{ChunkData, ChunkGrid};
-use aggcache_store::{aggregate_to_level_parallel, AggFn, Aggregator, Lift};
+use aggcache_obs::Tracer;
+use aggcache_store::{aggregate_to_level_parallel_traced, AggFn, Aggregator, Lift};
 
 /// Executes a [`ComputationPlan`]: aggregates the plan's cached leaf chunks
 /// (at whatever mixed levels they live) straight up to the target chunk's
@@ -64,6 +65,20 @@ pub fn execute_plan_parallel(
     plan: &ComputationPlan,
     threads: usize,
 ) -> (ChunkData, u64) {
+    execute_plan_parallel_traced(grid, cache, agg, plan, threads, None)
+}
+
+/// [`execute_plan_parallel`] with an optional [`Tracer`] receiving a
+/// per-worker `ShardAgg` event from each partition and reduce worker of the
+/// two-phase exchange. Tracing never changes the computed cells.
+pub fn execute_plan_parallel_traced(
+    grid: &ChunkGrid,
+    cache: &ChunkCache,
+    agg: AggFn,
+    plan: &ComputationPlan,
+    threads: usize,
+    tracer: Option<&dyn Tracer>,
+) -> (ChunkData, u64) {
     if threads <= 1 || plan.cost < PARALLEL_MIN_COST {
         return execute_plan(grid, cache, agg, plan);
     }
@@ -80,7 +95,15 @@ pub fn execute_plan_parallel(
             (grid.geom(leaf.gb).level(), &entry.data)
         })
         .collect();
-    aggregate_to_level_parallel(schema, &leaves, target_level, agg, Lift::Lifted, threads)
+    aggregate_to_level_parallel_traced(
+        schema,
+        &leaves,
+        target_level,
+        agg,
+        Lift::Lifted,
+        threads,
+        tracer,
+    )
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@
 
 mod cost;
 mod counts;
+mod error;
 mod executor;
 mod lookup;
 mod manager;
@@ -38,11 +39,14 @@ mod storage;
 
 pub use cost::{CostTable, COST_INF, PARENT_NONE, PARENT_SELF};
 pub use counts::CountTable;
-pub use executor::{execute_plan, execute_plan_parallel, PARALLEL_MIN_COST};
+pub use error::{CacheError, ConfigError};
+pub use executor::{
+    execute_plan, execute_plan_parallel, execute_plan_parallel_traced, PARALLEL_MIN_COST,
+};
 pub use lookup::{
     esm, esmc, lookup, no_aggregation, vcm, vcmc, ComputationPlan, LookupStats, Strategy,
 };
-pub use manager::{CacheManager, ManagerConfig, PreloadReport, QueryProbe};
+pub use manager::{CacheManager, CacheManagerBuilder, ManagerConfig, PreloadReport, QueryProbe};
 pub use metrics::{QueryMetrics, SessionMetrics};
 pub use query::{Query, QueryResult, ValueQuery};
 pub use storage::TableKind;

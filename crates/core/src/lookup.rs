@@ -24,6 +24,19 @@ pub enum Strategy {
     Vcmc,
 }
 
+impl Strategy {
+    /// Stable lowercase name, used in trace events and exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::NoAggregation => "no_aggregation",
+            Self::Esm => "esm",
+            Self::Esmc { .. } => "esmc",
+            Self::Vcm => "vcm",
+            Self::Vcmc => "vcmc",
+        }
+    }
+}
+
 /// Statistics of one lookup, for the paper's complexity comparisons.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LookupStats {

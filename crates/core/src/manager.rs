@@ -1,15 +1,21 @@
+use crate::error::{CacheError, ConfigError};
+use crate::executor::execute_plan_parallel_traced;
 use crate::lookup::{lookup, ComputationPlan, LookupStats, Strategy};
-use crate::{
-    execute_plan_parallel, CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics,
-};
+use crate::{CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
 use aggcache_cache::{ChunkCache, Origin, PolicyKind};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
-use aggcache_schema::{GroupById, Level};
-use aggcache_store::{Backend, StoreError};
+use aggcache_obs::{Event, LookupOutcome, Tracer};
+use aggcache_schema::{GroupById, Level, SchemaError};
+use aggcache_store::Backend;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration of the middle-tier cache manager.
+///
+/// Construct validated configurations through [`CacheManagerBuilder`]
+/// (`CacheManager::builder()`); the struct stays public and `Copy` so
+/// experiments can snapshot and tweak it.
 #[derive(Debug, Clone, Copy)]
 pub struct ManagerConfig {
     /// The cache-lookup algorithm.
@@ -57,9 +63,7 @@ pub struct ManagerConfig {
 }
 
 impl ManagerConfig {
-    /// A config with the given strategy/policy/budget and the default
-    /// aggregation rate.
-    pub fn new(strategy: Strategy, policy: PolicyKind, cache_bytes: usize) -> Self {
+    fn defaults(strategy: Strategy, policy: PolicyKind, cache_bytes: usize) -> Self {
         Self {
             strategy,
             policy,
@@ -74,10 +78,183 @@ impl ManagerConfig {
         }
     }
 
+    /// A config with the given strategy/policy/budget and the default
+    /// aggregation rate.
+    #[deprecated(note = "use CacheManager::builder() / CacheManagerBuilder")]
+    pub fn new(strategy: Strategy, policy: PolicyKind, cache_bytes: usize) -> Self {
+        Self::defaults(strategy, policy, cache_bytes)
+    }
+
     /// The same config with `threads` worker threads for batched execution.
+    #[deprecated(note = "use CacheManagerBuilder::threads")]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Checks the invariants [`CacheManagerBuilder`] enforces: a positive
+    /// cache budget, at least one thread, finite non-negative virtual-time
+    /// rates, and a positive ESMC node budget.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cache_bytes == 0 {
+            return Err(ConfigError::ZeroCacheBudget);
+        }
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        if let Strategy::Esmc {
+            node_budget: Some(0),
+        } = self.strategy
+        {
+            return Err(ConfigError::ZeroNodeBudget);
+        }
+        for (name, value) in [
+            ("cache_per_tuple_us", self.cache_per_tuple_us),
+            ("lookup_per_node_us", self.lookup_per_node_us),
+            ("update_per_write_us", self.update_per_write_us),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ConfigError::InvalidRate { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`CacheManager`] — the one construction path that
+/// can also attach a [`Tracer`].
+///
+/// ```
+/// # use aggcache_core::{CacheManager, Strategy};
+/// # use aggcache_cache::PolicyKind;
+/// # fn demo(backend: aggcache_store::Backend) -> Result<(), aggcache_core::ConfigError> {
+/// let manager = CacheManager::builder()
+///     .strategy(Strategy::Vcmc)
+///     .policy(PolicyKind::TwoLevel)
+///     .cache_bytes(1 << 20)
+///     .threads(4)
+///     .build(backend)?;
+/// # let _ = manager; Ok(())
+/// # }
+/// ```
+pub struct CacheManagerBuilder {
+    config: ManagerConfig,
+    cache_bytes: Option<usize>,
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl Default for CacheManagerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CacheManagerBuilder {
+    /// A builder with the paper's defaults (VCMC strategy, two-level
+    /// policy) and **no cache budget** — [`CacheManagerBuilder::build`]
+    /// fails with [`ConfigError::MissingCacheBudget`] until
+    /// [`CacheManagerBuilder::cache_bytes`] is called.
+    pub fn new() -> Self {
+        Self {
+            config: ManagerConfig::defaults(Strategy::Vcmc, PolicyKind::TwoLevel, 0),
+            cache_bytes: None,
+            tracer: None,
+        }
+    }
+
+    /// A builder pre-filled from an existing config (budget included).
+    pub fn from_config(config: ManagerConfig) -> Self {
+        Self {
+            cache_bytes: Some(config.cache_bytes),
+            config,
+            tracer: None,
+        }
+    }
+
+    /// Sets the cache-lookup strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the cache budget in accounting bytes (required, must be > 0).
+    pub fn cache_bytes(mut self, bytes: usize) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the worker-thread count for batched execution (must be ≥ 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Enables or disables the two-level policy's group boost.
+    pub fn group_boost(mut self, on: bool) -> Self {
+        self.config.group_boost = on;
+        self
+    }
+
+    /// Sets the count/cost table storage layout.
+    pub fn table_kind(mut self, kind: crate::TableKind) -> Self {
+        self.config.table_kind = kind;
+        self
+    }
+
+    /// Enables or disables the §5.2 cost-based cache-vs-backend arbitration.
+    pub fn optimizer(mut self, on: bool) -> Self {
+        self.config.optimizer = on;
+        self
+    }
+
+    /// Sets the virtual µs charged per tuple aggregated in cache.
+    pub fn cache_per_tuple_us(mut self, rate: f64) -> Self {
+        self.config.cache_per_tuple_us = rate;
+        self
+    }
+
+    /// Sets the virtual µs charged per lattice node visited during lookup.
+    pub fn lookup_per_node_us(mut self, rate: f64) -> Self {
+        self.config.lookup_per_node_us = rate;
+        self
+    }
+
+    /// Sets the virtual µs charged per count/cost table cell written.
+    pub fn update_per_write_us(mut self, rate: f64) -> Self {
+        self.config.update_per_write_us = rate;
+        self
+    }
+
+    /// Attaches a tracer receiving every [`Event`] the manager, cache,
+    /// backend and aggregation kernel emit. Without one, tracing costs a
+    /// single `Option` check per site.
+    pub fn tracer(mut self, tracer: Arc<dyn Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The validated configuration this builder would construct with.
+    pub fn config(&self) -> Result<ManagerConfig, ConfigError> {
+        let mut config = self.config;
+        config.cache_bytes = self.cache_bytes.ok_or(ConfigError::MissingCacheBudget)?;
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Validates the configuration and builds the manager over `backend`.
+    pub fn build(self, backend: Backend) -> Result<CacheManager, ConfigError> {
+        let config = self.config()?;
+        let mut manager = CacheManager::from_parts(backend, config);
+        if self.tracer.is_some() {
+            manager.set_tracer(self.tracer);
+        }
+        Ok(manager)
     }
 }
 
@@ -107,27 +284,21 @@ enum Tables {
 }
 
 impl Tables {
-    fn on_insert(&mut self, key: ChunkKey, size: u32) {
+    /// Propagates an insert; returns the table cells written.
+    fn on_insert(&mut self, key: ChunkKey, size: u32) -> u64 {
         match self {
-            Tables::None => {}
-            Tables::Counts(t) => {
-                t.on_insert(key);
-            }
-            Tables::Costs(t) => {
-                t.on_insert(key, size);
-            }
+            Tables::None => 0,
+            Tables::Counts(t) => t.on_insert(key),
+            Tables::Costs(t) => t.on_insert(key, size),
         }
     }
 
-    fn on_evict(&mut self, key: ChunkKey) {
+    /// Propagates an eviction; returns the table cells written.
+    fn on_evict(&mut self, key: ChunkKey) -> u64 {
         match self {
-            Tables::None => {}
-            Tables::Counts(t) => {
-                t.on_evict(key);
-            }
-            Tables::Costs(t) => {
-                t.on_evict(key);
-            }
+            Tables::None => 0,
+            Tables::Counts(t) => t.on_evict(key),
+            Tables::Costs(t) => t.on_evict(key),
         }
     }
 
@@ -150,6 +321,10 @@ impl Tables {
 /// ones from the backend in one batched call, and admits new chunks under
 /// the configured replacement policy — keeping the virtual-count (VCM) or
 /// cost (VCMC) tables consistent across every insertion and eviction.
+///
+/// Construct via [`CacheManager::builder`]. An attached [`Tracer`] observes
+/// every probe, plan, fetch, admission, eviction and table delta; tracing
+/// never changes results or virtual-time metrics.
 pub struct CacheManager {
     backend: Backend,
     grid: Arc<ChunkGrid>,
@@ -166,6 +341,12 @@ pub struct CacheManager {
     /// versions differ, which is what makes batched execution bit-identical
     /// to the sequential loop.
     version: u64,
+    /// The attached tracer, shared with the cache and backend. `None` (the
+    /// default) reduces every emission site to one branch.
+    tracer: Option<Arc<dyn Tracer>>,
+    /// Monotonic probe-id source; atomic because concurrent batch probes
+    /// run against `&self`.
+    probe_seq: AtomicU64,
 }
 
 /// The outcome of the immutable probe phase of one query: the partition of
@@ -184,6 +365,7 @@ pub struct QueryProbe {
     lookup_ns: u64,
     probe_ns: u64,
     version: u64,
+    trace_id: u64,
 }
 
 impl QueryProbe {
@@ -208,9 +390,29 @@ impl QueryProbe {
     }
 }
 
+impl std::fmt::Debug for CacheManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheManager")
+            .field("config", &self.config)
+            .field("version", &self.version)
+            .field("traced", &self.tracer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 impl CacheManager {
+    /// A validating [`CacheManagerBuilder`] — the primary construction path.
+    pub fn builder() -> CacheManagerBuilder {
+        CacheManagerBuilder::new()
+    }
+
     /// Creates a manager over `backend` with the given configuration.
+    #[deprecated(note = "use CacheManager::builder() / CacheManagerBuilder")]
     pub fn new(backend: Backend, config: ManagerConfig) -> Self {
+        Self::from_parts(backend, config)
+    }
+
+    fn from_parts(backend: Backend, config: ManagerConfig) -> Self {
         let grid = backend.grid().clone();
         let tables = match config.strategy {
             Strategy::Vcm => Tables::Counts(CountTable::with_kind(grid.clone(), config.table_kind)),
@@ -225,7 +427,17 @@ impl CacheManager {
             config,
             session: SessionMetrics::default(),
             version: 0,
+            tracer: None,
+            probe_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a tracer, propagating it to the
+    /// chunk cache and the backend so their events land in the same sink.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {
+        self.cache.set_tracer(tracer.clone());
+        self.backend.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// The chunk grid.
@@ -283,22 +495,25 @@ impl CacheManager {
     }
 
     /// Runs one cache lookup without executing anything — the probe used by
-    /// the paper's Table 1 lookup-time experiment.
-    pub fn lookup_chunk(&self, key: ChunkKey, stats: &mut LookupStats) -> Option<ComputationPlan> {
+    /// the paper's Table 1 lookup-time experiment. Returns the plan (if the
+    /// chunk is answerable) together with the lookup statistics.
+    pub fn lookup_chunk(&self, key: ChunkKey) -> (Option<ComputationPlan>, LookupStats) {
         let (counts, costs) = match &self.tables {
             Tables::Counts(t) => (Some(t), None),
             Tables::Costs(t) => (Some(t.counts()), Some(t)),
             Tables::None => (None, None),
         };
-        lookup(
+        let mut stats = LookupStats::default();
+        let plan = lookup(
             self.config.strategy,
             &self.cache,
             &self.grid,
             counts,
             costs,
             key,
-            stats,
-        )
+            &mut stats,
+        );
+        (plan, stats)
     }
 
     /// Inserts a chunk (fetched or computed elsewhere) into the cache,
@@ -315,6 +530,28 @@ impl CacheManager {
         self.admit_chunk(key, data, origin, benefit)
     }
 
+    /// Emits the count/cost-table delta of one insert/evict, if a tracer is
+    /// attached and a table is maintained.
+    fn trace_table_update(&self, key: ChunkKey, writes: u64, evict: bool) {
+        let Some(tracer) = &self.tracer else { return };
+        let event = match &self.tables {
+            Tables::None => return,
+            Tables::Counts(_) => Event::CountUpdate {
+                gb: key.gb.0,
+                chunk: key.chunk,
+                writes,
+                evict,
+            },
+            Tables::Costs(_) => Event::CostUpdate {
+                gb: key.gb.0,
+                chunk: key.chunk,
+                writes,
+                evict,
+            },
+        };
+        tracer.emit(&event);
+    }
+
     /// The single admission path: inserts into the cache and keeps the
     /// count/cost tables consistent — including the replace case (a key
     /// already cached counts as an eviction of the old entry, otherwise its
@@ -329,15 +566,18 @@ impl CacheManager {
         let t = Instant::now();
         let replacing = self.cache.contains(&key);
         if replacing {
-            self.tables.on_evict(key);
+            let writes = self.tables.on_evict(key);
+            self.trace_table_update(key, writes, true);
         }
         let size = data.len() as u32;
         let outcome = self.cache.insert(key, data, origin, benefit);
         for evicted in &outcome.evicted {
-            self.tables.on_evict(*evicted);
+            let writes = self.tables.on_evict(*evicted);
+            self.trace_table_update(*evicted, writes, true);
         }
         if outcome.admitted {
-            self.tables.on_insert(key, size);
+            let writes = self.tables.on_insert(key, size);
+            self.trace_table_update(key, writes, false);
         }
         // A refused insert (no replacement, nothing evicted) leaves probe-
         // relevant state untouched, so outstanding probes stay valid.
@@ -353,7 +593,8 @@ impl CacheManager {
         if self.cache.remove(&key) {
             self.version += 1;
             let t = Instant::now();
-            self.tables.on_evict(key);
+            let writes = self.tables.on_evict(key);
+            self.trace_table_update(key, writes, true);
             t.elapsed().as_nanos() as u64
         } else {
             0
@@ -364,7 +605,7 @@ impl CacheManager {
     /// most lattice descendants whose estimated size fits the budget
     /// (among group-bys the backend can answer). Returns `None` when
     /// nothing fits.
-    pub fn preload_best(&mut self) -> Result<Option<PreloadReport>, StoreError> {
+    pub fn preload_best(&mut self) -> Result<Option<PreloadReport>, CacheError> {
         let lattice = self.grid.schema().lattice().clone();
         let schema = self.grid.schema().clone();
         let fact_gb = self.backend.fact().gb();
@@ -399,7 +640,7 @@ impl CacheManager {
         &mut self,
         gb: GroupById,
         descendants: u64,
-    ) -> Result<PreloadReport, StoreError> {
+    ) -> Result<PreloadReport, CacheError> {
         let fetch = self.backend.fetch_group_by(gb)?;
         let n = fetch.chunks.len().max(1);
         let per_chunk_benefit = fetch.virtual_ms / n as f64;
@@ -439,6 +680,20 @@ impl CacheManager {
     /// [version]: CacheManager::version
     pub fn probe(&self, query: &Query) -> QueryProbe {
         let t_probe = Instant::now();
+        let trace_id = match &self.tracer {
+            Some(tracer) => {
+                let id = self.probe_seq.fetch_add(1, Ordering::Relaxed);
+                tracer.emit(&Event::ProbeStart {
+                    query: id,
+                    gb: query.gb.0,
+                    chunks: query.chunks.len() as u64,
+                    version: self.version,
+                    strategy: self.config.strategy.name(),
+                });
+                id
+            }
+            None => 0,
+        };
         let mut lookup_nodes = 0u64;
         let mut chunks_demoted = 0usize;
 
@@ -447,8 +702,22 @@ impl CacheManager {
         let mut missing: Vec<u64> = Vec::new();
         for &chunk in &query.chunks {
             let key = ChunkKey::new(query.gb, chunk);
-            let mut stats = LookupStats::default();
-            match self.lookup_chunk(key, &mut stats) {
+            let (plan, stats) = self.lookup_chunk(key);
+            if let Some(tracer) = &self.tracer {
+                let outcome = match &plan {
+                    Some(p) if p.direct_hit => LookupOutcome::Hit,
+                    Some(_) => LookupOutcome::Computable,
+                    None => LookupOutcome::Miss,
+                };
+                tracer.emit(&Event::ChunkLookup {
+                    query: trace_id,
+                    gb: query.gb.0,
+                    chunk,
+                    outcome,
+                    nodes: stats.nodes_visited,
+                });
+            }
+            match plan {
                 Some(plan) => plans.push(plan),
                 None => missing.push(chunk),
             }
@@ -489,14 +758,30 @@ impl CacheManager {
             });
         }
 
+        let probe_ns = t_probe.elapsed().as_nanos() as u64;
+        if let Some(tracer) = &self.tracer {
+            let hits = plans.iter().filter(|p| p.direct_hit).count() as u64;
+            tracer.emit(&Event::ProbeEnd {
+                query: trace_id,
+                gb: query.gb.0,
+                version: self.version,
+                hits,
+                computable: plans.len() as u64 - hits,
+                missing: missing.len() as u64,
+                demoted: chunks_demoted as u64,
+                wall_ns: probe_ns,
+            });
+        }
+
         QueryProbe {
             plans,
             missing,
             lookup_nodes,
             chunks_demoted,
             lookup_ns,
-            probe_ns: t_probe.elapsed().as_nanos() as u64,
+            probe_ns,
             version: self.version,
+            trace_id,
         }
     }
 
@@ -509,7 +794,7 @@ impl CacheManager {
     /// the probe is recomputed first, so the outcome — results, cache
     /// state and virtual-time metrics — is always exactly what a fresh
     /// sequential [`CacheManager::execute`] would produce.
-    pub fn apply(&mut self, query: &Query, probe: QueryProbe) -> Result<QueryResult, StoreError> {
+    pub fn apply(&mut self, query: &Query, probe: QueryProbe) -> Result<QueryResult, CacheError> {
         let t_apply = Instant::now();
         let probe = if probe.version == self.version {
             probe
@@ -524,6 +809,7 @@ impl CacheManager {
             lookup_ns,
             probe_ns,
             version: _,
+            trace_id,
         } = probe;
         let mut metrics = QueryMetrics {
             lookup_ns,
@@ -555,14 +841,29 @@ impl CacheManager {
             } else {
                 metrics.chunks_computed += 1;
                 let t_agg = Instant::now();
-                let (data, tuples) = execute_plan_parallel(
+                let (data, tuples) = execute_plan_parallel_traced(
                     &self.grid,
                     &self.cache,
                     self.backend.agg(),
                     plan,
                     self.config.threads,
+                    self.tracer.as_deref(),
                 );
                 metrics.agg_ns += t_agg.elapsed().as_nanos() as u64;
+                if let Some(tracer) = &self.tracer {
+                    let mut levels: Vec<u32> = plan.leaves.iter().map(|l| l.gb.0).collect();
+                    levels.sort_unstable();
+                    levels.dedup();
+                    tracer.emit(&Event::PlanChosen {
+                        query: trace_id,
+                        gb: plan.target.gb.0,
+                        chunk: plan.target.chunk,
+                        leaves: plan.leaves.len() as u64,
+                        levels,
+                        predicted_tuples: plan.cost,
+                        actual_tuples: tuples,
+                    });
+                }
                 metrics.tuples_aggregated += tuples;
                 let benefit_ms = tuples as f64 * self.config.cache_per_tuple_us / 1000.0;
                 metrics.agg_virtual_ms += benefit_ms;
@@ -622,7 +923,7 @@ impl CacheManager {
         metrics.complete_hit = missing.is_empty();
         metrics.table_writes = self.tables.updates() - writes_before;
         metrics.apply_ns = t_apply.elapsed().as_nanos() as u64;
-        self.finish_metrics(&mut metrics);
+        self.finish_metrics(&mut metrics, trace_id, query.gb);
         Ok(QueryResult {
             data: result,
             metrics,
@@ -630,7 +931,7 @@ impl CacheManager {
     }
 
     /// Executes a query through the active cache: one probe, one apply.
-    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, StoreError> {
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, CacheError> {
         let probe = self.probe(query);
         self.apply(query, probe)
     }
@@ -647,7 +948,7 @@ impl CacheManager {
     /// in a loop — batching changes wall-clock time only. On a
     /// read-mostly stream (warm cache, admissions refused) no re-probe
     /// happens and every lookup runs in parallel.
-    pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, StoreError> {
+    pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, CacheError> {
         let threads = self.config.threads.clamp(1, queries.len().max(1));
         let probes: Vec<QueryProbe> = if threads <= 1 {
             queries.iter().map(|q| self.probe(q)).collect()
@@ -686,10 +987,17 @@ impl CacheManager {
             .collect()
     }
 
-    /// Executes a semantic value-range query: normalizes it to chunks,
-    /// runs it through the active cache, and filters the result cells to
-    /// the exact ranges.
-    pub fn execute_values(&mut self, query: &crate::ValueQuery) -> Result<QueryResult, StoreError> {
+    /// Executes a semantic value-range query: validates its arity against
+    /// the schema, normalizes it to chunks, runs it through the active
+    /// cache, and filters the result cells to the exact ranges.
+    pub fn execute_values(&mut self, query: &crate::ValueQuery) -> Result<QueryResult, CacheError> {
+        let n_dims = self.grid.num_dims();
+        if query.ranges.len() != n_dims {
+            return Err(CacheError::Schema(SchemaError::BadLevelArity {
+                expected: n_dims,
+                got: query.ranges.len(),
+            }));
+        }
         let chunk_query = query.to_chunk_query(&self.grid.clone());
         let result = self.execute(&chunk_query)?;
         Ok(QueryResult {
@@ -698,18 +1006,44 @@ impl CacheManager {
         })
     }
 
-    fn finish_metrics(&mut self, metrics: &mut QueryMetrics) {
+    fn finish_metrics(&mut self, metrics: &mut QueryMetrics, trace_id: u64, gb: GroupById) {
         metrics.lookup_virtual_ms =
             metrics.lookup_nodes as f64 * self.config.lookup_per_node_us / 1000.0;
         metrics.update_virtual_ms =
             metrics.table_writes as f64 * self.config.update_per_write_us / 1000.0;
         self.session.record(metrics);
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(&Event::QueryDone {
+                query: trace_id,
+                gb: gb.0,
+                complete_hit: metrics.complete_hit,
+                chunks_hit: metrics.chunks_hit as u64,
+                chunks_computed: metrics.chunks_computed as u64,
+                chunks_missed: metrics.chunks_missed as u64,
+                chunks_demoted: metrics.chunks_demoted as u64,
+                tuples_aggregated: metrics.tuples_aggregated,
+                backend_tuples: metrics.backend_tuples,
+                lookup_nodes: metrics.lookup_nodes,
+                table_writes: metrics.table_writes,
+                backend_virtual_ms: metrics.backend_virtual_ms,
+                agg_virtual_ms: metrics.agg_virtual_ms,
+                lookup_virtual_ms: metrics.lookup_virtual_ms,
+                update_virtual_ms: metrics.update_virtual_ms,
+                total_virtual_ms: metrics.total_ms(),
+                probe_ns: metrics.probe_ns,
+                apply_ns: metrics.apply_ns,
+                agg_ns: metrics.agg_ns,
+                lookup_ns: metrics.lookup_ns,
+                update_ns: metrics.update_ns,
+            });
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aggcache_obs::RecordingTracer;
     use aggcache_schema::{Dimension, Schema};
     use aggcache_store::{AggFn, BackendCostModel, FactTable};
 
@@ -740,11 +1074,12 @@ mod tests {
     }
 
     fn manager(strategy: Strategy) -> CacheManager {
-        let backend = make_backend();
-        CacheManager::new(
-            backend,
-            ManagerConfig::new(strategy, PolicyKind::TwoLevel, usize::MAX >> 1),
-        )
+        CacheManager::builder()
+            .strategy(strategy)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(make_backend())
+            .unwrap()
     }
 
     fn oracle(mgr: &CacheManager, q: &Query) -> ChunkData {
@@ -829,12 +1164,13 @@ mod tests {
 
     #[test]
     fn tables_stay_consistent_under_eviction_pressure() {
-        let backend = make_backend();
         // Tiny cache: 8 tuples worth of space → constant eviction churn.
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 8 * PAPER_TUPLE_BYTES),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(8 * PAPER_TUPLE_BYTES)
+            .build(make_backend())
+            .unwrap();
         let lattice = mgr.grid().schema().lattice().clone();
         let ids: Vec<GroupById> = lattice.iter_ids().collect();
         for (i, &gb) in ids.iter().cycle().take(40).enumerate() {
@@ -849,12 +1185,13 @@ mod tests {
 
     #[test]
     fn preload_best_picks_fitting_group_by() {
-        let backend = make_backend();
         // Budget that fits the whole base (32 tuples = 640 bytes).
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 1000),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(1000)
+            .build(make_backend())
+            .unwrap();
         let report = mgr.preload_best().unwrap().unwrap();
         let base = mgr.grid().schema().lattice().base();
         assert_eq!(report.gb, base, "base has the most descendants and fits");
@@ -868,13 +1205,14 @@ mod tests {
 
     #[test]
     fn preload_respects_budget() {
-        let backend = make_backend();
         // Budget too small for the base (needs 640), fits (1,1) (8 cells ≤
         // 12 estimated) or similar.
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 300),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(300)
+            .build(make_backend())
+            .unwrap();
         let report = mgr.preload_best().unwrap().unwrap();
         assert!(report.bytes <= 300, "{report:?}");
         let base = mgr.grid().schema().lattice().base();
@@ -913,10 +1251,14 @@ mod tests {
         )
         .with_materialized(&[top])
         .unwrap();
-        let mut config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
-        config.cache_per_tuple_us = 50.0; // busy middle tier
-        config.optimizer = true;
-        let mut mgr = CacheManager::new(backend, config);
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .cache_per_tuple_us(50.0) // busy middle tier
+            .optimizer(true)
+            .build(backend)
+            .unwrap();
         let grid = mgr.grid().clone();
         mgr.execute(&Query::full_group_by(&grid, lattice.base()))
             .unwrap();
@@ -936,10 +1278,14 @@ mod tests {
         )
         .with_materialized(&[top])
         .unwrap();
-        let mut config2 = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
-        config2.cache_per_tuple_us = 50.0;
-        config2.optimizer = false;
-        let mut mgr2 = CacheManager::new(backend2, config2);
+        let mut mgr2 = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .cache_per_tuple_us(50.0)
+            .optimizer(false)
+            .build(backend2)
+            .unwrap();
         mgr2.execute(&Query::full_group_by(&grid, lattice.base()))
             .unwrap();
         let m2 = mgr2
@@ -955,10 +1301,13 @@ mod tests {
     fn optimizer_keeps_cheap_plans_in_cache() {
         // Default rates: in-cache aggregation is ~8x cheaper, so nothing
         // is demoted and results still match the oracle.
-        let backend = make_backend();
-        let mut config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
-        config.optimizer = true;
-        let mut mgr = CacheManager::new(backend, config);
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .optimizer(true)
+            .build(make_backend())
+            .unwrap();
         let lattice = mgr.grid().schema().lattice().clone();
         let grid = mgr.grid().clone();
         run_and_check(&mut mgr, &Query::full_group_by(&grid, lattice.base()));
@@ -994,15 +1343,17 @@ mod tests {
     #[test]
     fn sparse_tables_answer_identically() {
         let mk = |kind| {
-            let mut config =
-                ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1);
-            config.table_kind = kind;
-            CacheManager::new(make_backend(), config)
+            CacheManager::builder()
+                .strategy(Strategy::Vcmc)
+                .policy(PolicyKind::TwoLevel)
+                .cache_bytes(usize::MAX >> 1)
+                .table_kind(kind)
+                .build(make_backend())
+                .unwrap()
         };
         let mut dense = mk(crate::TableKind::Dense);
         let mut sparse = mk(crate::TableKind::Sparse);
         let lattice = dense.grid().schema().lattice().clone();
-        let grid = dense.grid().clone();
         for gb in lattice.iter_ids() {
             let q = Query::new(gb, vec![0]);
             let a = dense.execute(&q).unwrap();
@@ -1010,7 +1361,6 @@ mod tests {
             assert_eq!(a.data, b.data);
             assert_eq!(a.metrics.complete_hit, b.metrics.complete_hit);
         }
-        let _ = grid;
         // Table contents agree exactly.
         dense
             .counts()
@@ -1027,10 +1377,17 @@ mod tests {
                 Strategy::Vcm,
                 Strategy::Vcmc,
             ] {
-                let config = ManagerConfig::new(strategy, PolicyKind::TwoLevel, usize::MAX >> 1)
-                    .with_threads(threads);
-                let mut seq = CacheManager::new(make_backend(), config);
-                let mut bat = CacheManager::new(make_backend(), config);
+                let mk = || {
+                    CacheManager::builder()
+                        .strategy(strategy)
+                        .policy(PolicyKind::TwoLevel)
+                        .cache_bytes(usize::MAX >> 1)
+                        .threads(threads)
+                        .build(make_backend())
+                        .unwrap()
+                };
+                let mut seq = mk();
+                let mut bat = mk();
                 let lattice = seq.grid().schema().lattice().clone();
                 let grid = seq.grid().clone();
                 let queries: Vec<Query> = lattice
@@ -1107,10 +1464,12 @@ mod tests {
             AggFn::Sum,
             BackendCostModel::default(),
         );
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, 10_000),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(10_000)
+            .build(backend)
+            .unwrap();
         // Chunk 3 is empty; first query fetches it, second hits the cached
         // empty chunk.
         let m1 = mgr.execute(&Query::new(base, vec![3])).unwrap().metrics;
@@ -1118,5 +1477,191 @@ mod tests {
         let m2 = mgr.execute(&Query::new(base, vec![3])).unwrap().metrics;
         assert!(m2.complete_hit);
         assert_eq!(m2.chunks_hit, 1);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            CacheManager::builder().build(make_backend()).unwrap_err(),
+            ConfigError::MissingCacheBudget
+        );
+        assert_eq!(
+            CacheManager::builder()
+                .cache_bytes(0)
+                .build(make_backend())
+                .unwrap_err(),
+            ConfigError::ZeroCacheBudget
+        );
+        assert_eq!(
+            CacheManager::builder()
+                .cache_bytes(1000)
+                .threads(0)
+                .build(make_backend())
+                .unwrap_err(),
+            ConfigError::ZeroThreads
+        );
+        assert_eq!(
+            CacheManager::builder()
+                .cache_bytes(1000)
+                .strategy(Strategy::Esmc {
+                    node_budget: Some(0)
+                })
+                .build(make_backend())
+                .unwrap_err(),
+            ConfigError::ZeroNodeBudget
+        );
+        let err = CacheManager::builder()
+            .cache_bytes(1000)
+            .cache_per_tuple_us(f64::NAN)
+            .build(make_backend())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::InvalidRate {
+                name: "cache_per_tuple_us",
+                ..
+            }
+        ));
+        // Unbounded ESMC is fine.
+        assert!(CacheManager::builder()
+            .cache_bytes(1000)
+            .strategy(Strategy::Esmc { node_budget: None })
+            .build(make_backend())
+            .is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_work() {
+        let config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1)
+            .with_threads(2);
+        let mut old = CacheManager::new(make_backend(), config);
+        let mut new = CacheManagerBuilder::from_config(config)
+            .build(make_backend())
+            .unwrap();
+        let grid = old.grid().clone();
+        let lattice = grid.schema().lattice().clone();
+        for gb in lattice.iter_ids() {
+            let q = Query::full_group_by(&grid, gb);
+            let a = old.execute(&q).unwrap();
+            let b = new.execute(&q).unwrap();
+            assert_eq!(a.data, b.data);
+            assert_eq!(
+                a.metrics.total_ms().to_bits(),
+                b.metrics.total_ms().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn tracer_observes_probe_plan_and_query_events() {
+        let tracer = Arc::new(RecordingTracer::new());
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .tracer(tracer.clone())
+            .build(make_backend())
+            .unwrap();
+        let grid = mgr.grid().clone();
+        let lattice = grid.schema().lattice().clone();
+        mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+            .unwrap();
+        mgr.execute(&Query::full_group_by(&grid, lattice.top()))
+            .unwrap();
+        let events = tracer.take();
+        let kinds: Vec<&'static str> = events.iter().map(|e| e.kind()).collect();
+        for expected in [
+            "probe_start",
+            "chunk_lookup",
+            "probe_end",
+            "backend_fetch",
+            "cache_insert",
+            "cost_update",
+            "plan_chosen",
+            "query_done",
+        ] {
+            assert!(kinds.contains(&expected), "missing {expected}: {kinds:?}");
+        }
+        // The second query's rollup is a computable plan over the base.
+        let plan = events
+            .iter()
+            .find_map(|e| match e {
+                Event::PlanChosen {
+                    leaves,
+                    predicted_tuples,
+                    actual_tuples,
+                    ..
+                } => Some((*leaves, *predicted_tuples, *actual_tuples)),
+                _ => None,
+            })
+            .expect("plan_chosen emitted");
+        assert!(plan.0 > 0);
+        assert_eq!(plan.1, plan.2, "VCMC cost prediction is exact");
+        // Virtual metrics in query_done stay consistent with the sum.
+        for e in &events {
+            if let Event::QueryDone {
+                backend_virtual_ms,
+                agg_virtual_ms,
+                lookup_virtual_ms,
+                update_virtual_ms,
+                total_virtual_ms,
+                ..
+            } = e
+            {
+                let sum =
+                    backend_virtual_ms + agg_virtual_ms + lookup_virtual_ms + update_virtual_ms;
+                assert_eq!(sum.to_bits(), total_virtual_ms.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_results_or_virtual_time() {
+        let mk = |tracer: Option<Arc<dyn Tracer>>| {
+            let mut builder = CacheManager::builder()
+                .strategy(Strategy::Vcmc)
+                .policy(PolicyKind::TwoLevel)
+                .cache_bytes(2000);
+            if let Some(t) = tracer {
+                builder = builder.tracer(t);
+            }
+            builder.build(make_backend()).unwrap()
+        };
+        let mut plain = mk(None);
+        let mut traced = mk(Some(Arc::new(RecordingTracer::new())));
+        let grid = plain.grid().clone();
+        let lattice = grid.schema().lattice().clone();
+        let queries: Vec<Query> = lattice
+            .iter_ids()
+            .map(|gb| Query::full_group_by(&grid, gb))
+            .collect();
+        for q in &queries {
+            let a = plain.execute(q).unwrap();
+            let b = traced.execute(q).unwrap();
+            assert_eq!(a.data, b.data);
+            assert_eq!(
+                a.metrics.total_ms().to_bits(),
+                b.metrics.total_ms().to_bits()
+            );
+            assert_eq!(a.metrics.table_writes, b.metrics.table_writes);
+        }
+        assert_eq!(
+            plain.session().total_ms.to_bits(),
+            traced.session().total_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn execute_values_rejects_bad_arity() {
+        let mut mgr = manager(Strategy::Vcmc);
+        let base = mgr.grid().schema().lattice().base();
+        let bad = crate::ValueQuery::new(base, vec![(0, 1)]); // grid has 2 dims
+        match mgr.execute_values(&bad) {
+            Err(CacheError::Schema(SchemaError::BadLevelArity { expected, got })) => {
+                assert_eq!((expected, got), (2, 1));
+            }
+            other => panic!("expected BadLevelArity, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,495 @@
+//! Typed trace events emitted by the cache manager, chunk cache, backend
+//! and the parallel aggregation kernel.
+//!
+//! Events carry only primitive fields (`u32` group-by ids, `u64` chunk
+//! numbers, `&'static str` names) so this crate sits below every other
+//! crate in the dependency graph: the cache and store layers can emit
+//! events without depending on the core types.
+//!
+//! **Virtual vs. wall time.** Fields named `*_ns` are measured wall-clock
+//! nanoseconds; fields named `*_virtual_ms` are deterministic virtual
+//! milliseconds from the cost model. The two are never mixed in one field,
+//! and [`crate::MetricsRegistry`] keeps them in separate namespaces.
+
+/// How one chunk lookup resolved (paper §3–§5: hit / computable / miss).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The exact chunk was cached.
+    Hit,
+    /// Computable by aggregating other cached chunks.
+    Computable,
+    /// Not answerable from the cache.
+    Miss,
+}
+
+impl LookupOutcome {
+    /// Stable lowercase name (used by the JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Hit => "hit",
+            Self::Computable => "computable",
+            Self::Miss => "miss",
+        }
+    }
+}
+
+/// The replacement tier a chunk belongs to — the paper's two benefit
+/// classes (§6.1): fetched from the backend vs. computed in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Fetched from the backend (expensive to reproduce).
+    Fetched,
+    /// Computed by aggregating cached chunks (cheap to reproduce).
+    Computed,
+}
+
+impl Tier {
+    /// Stable lowercase name (used by the JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Fetched => "fetched",
+            Self::Computed => "computed",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// `query` fields carry a per-manager monotonically increasing probe id so
+/// concurrent probes interleaved in the event stream can be re-associated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A query probe began.
+    ProbeStart {
+        /// Probe id (correlates the probe's events).
+        query: u64,
+        /// Group-by id of the query.
+        gb: u32,
+        /// Number of chunks the query touches.
+        chunks: u64,
+        /// Cache version the probe runs against.
+        version: u64,
+        /// Lookup strategy name.
+        strategy: &'static str,
+    },
+    /// One chunk lookup resolved during a probe.
+    ChunkLookup {
+        /// Probe id.
+        query: u64,
+        /// Group-by id of the chunk.
+        gb: u32,
+        /// Chunk number.
+        chunk: u64,
+        /// Hit / computable / miss.
+        outcome: LookupOutcome,
+        /// Lattice nodes visited by this lookup.
+        nodes: u64,
+    },
+    /// A query probe finished.
+    ProbeEnd {
+        /// Probe id.
+        query: u64,
+        /// Group-by id of the query.
+        gb: u32,
+        /// Cache version the probe ran against.
+        version: u64,
+        /// Direct hits.
+        hits: u64,
+        /// Chunks computable by in-cache aggregation.
+        computable: u64,
+        /// Chunks missing (backend fetches).
+        missing: u64,
+        /// Computable chunks demoted to backend fetches by the §5.2
+        /// cost-based arbitration.
+        demoted: u64,
+        /// Wall-clock nanoseconds of the whole probe.
+        wall_ns: u64,
+    },
+    /// A computation plan was executed for a computable chunk.
+    PlanChosen {
+        /// Probe id of the probe that produced the plan.
+        query: u64,
+        /// Group-by id of the target chunk.
+        gb: u32,
+        /// Target chunk number.
+        chunk: u64,
+        /// Number of leaf chunks aggregated.
+        leaves: u64,
+        /// Distinct group-by ids of the plan's leaves (the aggregation
+        /// path's source levels).
+        levels: Vec<u32>,
+        /// Tuples the lookup predicted the plan would aggregate.
+        predicted_tuples: u64,
+        /// Tuples actually aggregated.
+        actual_tuples: u64,
+    },
+    /// The backend executed one batched fetch.
+    BackendFetch {
+        /// Group-by id fetched.
+        gb: u32,
+        /// Chunks requested.
+        chunks: u64,
+        /// Source tuples scanned.
+        tuples_scanned: u64,
+        /// Result tuples produced.
+        result_tuples: u64,
+        /// Virtual milliseconds charged by the cost model.
+        virtual_ms: f64,
+    },
+    /// A chunk was offered to the cache.
+    CacheInsert {
+        /// Group-by id.
+        gb: u32,
+        /// Chunk number.
+        chunk: u64,
+        /// Replacement tier.
+        tier: Tier,
+        /// Accounting bytes.
+        bytes: u64,
+        /// Whether the chunk was admitted.
+        admitted: bool,
+    },
+    /// The replacement policy evicted a chunk.
+    Evict {
+        /// Group-by id of the victim.
+        gb: u32,
+        /// Chunk number of the victim.
+        chunk: u64,
+        /// Tier the victim lived in (two-level policy: computed chunks
+        /// fall first).
+        tier: Tier,
+        /// Completed sweep rounds of the CLOCK ring the victim came from.
+        clock_round: u64,
+        /// Residual clock weight at eviction (includes group boosts).
+        clock: f64,
+    },
+    /// The two-level policy boosted a group of chunks that together
+    /// computed an aggregate (§6.3 rule 2).
+    GroupBoost {
+        /// Chunks in the boosted group.
+        chunks: u64,
+        /// Normalized clock amount added to each chunk.
+        amount: f64,
+    },
+    /// The VCM count table absorbed an insert or evict.
+    CountUpdate {
+        /// Group-by id of the inserted/evicted chunk.
+        gb: u32,
+        /// Chunk number.
+        chunk: u64,
+        /// Table cells written by this delta.
+        writes: u64,
+        /// `true` for an eviction, `false` for an insert.
+        evict: bool,
+    },
+    /// The VCMC cost table absorbed an insert or evict.
+    CostUpdate {
+        /// Group-by id of the inserted/evicted chunk.
+        gb: u32,
+        /// Chunk number.
+        chunk: u64,
+        /// Table cells written by this delta.
+        writes: u64,
+        /// `true` for an eviction, `false` for an insert.
+        evict: bool,
+    },
+    /// One worker of the parallel aggregation kernel finished its share.
+    ShardAgg {
+        /// Exchange phase: 0 = partition (roll-up + encode), 1 = reduce.
+        phase: u8,
+        /// Worker/shard index.
+        shard: u32,
+        /// Total workers/shards.
+        shards: u32,
+        /// Cells this worker processed.
+        cells: u64,
+        /// Wall-clock nanoseconds this worker ran.
+        wall_ns: u64,
+    },
+    /// A query finished end to end (probe + apply).
+    QueryDone {
+        /// Probe id of the probe that produced the answer.
+        query: u64,
+        /// Group-by id of the query.
+        gb: u32,
+        /// Answered entirely from the cache.
+        complete_hit: bool,
+        /// Chunks answered directly.
+        chunks_hit: u64,
+        /// Chunks computed by aggregation.
+        chunks_computed: u64,
+        /// Chunks fetched from the backend.
+        chunks_missed: u64,
+        /// Chunks demoted by the cost-based optimizer.
+        chunks_demoted: u64,
+        /// Tuples aggregated in cache.
+        tuples_aggregated: u64,
+        /// Base tuples scanned by the backend.
+        backend_tuples: u64,
+        /// Lattice nodes visited by lookups.
+        lookup_nodes: u64,
+        /// Count/cost table cells written.
+        table_writes: u64,
+        /// Virtual backend milliseconds.
+        backend_virtual_ms: f64,
+        /// Virtual aggregation milliseconds.
+        agg_virtual_ms: f64,
+        /// Virtual lookup milliseconds.
+        lookup_virtual_ms: f64,
+        /// Virtual table-update milliseconds.
+        update_virtual_ms: f64,
+        /// Sum of the four virtual components.
+        total_virtual_ms: f64,
+        /// Wall-clock nanoseconds of the probe phase.
+        probe_ns: u64,
+        /// Wall-clock nanoseconds of the apply phase.
+        apply_ns: u64,
+        /// Wall-clock nanoseconds spent aggregating.
+        agg_ns: u64,
+        /// Wall-clock nanoseconds spent in lookups.
+        lookup_ns: u64,
+        /// Wall-clock nanoseconds spent maintaining tables.
+        update_ns: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case name of the event kind (the JSON `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ProbeStart { .. } => "probe_start",
+            Event::ChunkLookup { .. } => "chunk_lookup",
+            Event::ProbeEnd { .. } => "probe_end",
+            Event::PlanChosen { .. } => "plan_chosen",
+            Event::BackendFetch { .. } => "backend_fetch",
+            Event::CacheInsert { .. } => "cache_insert",
+            Event::Evict { .. } => "evict",
+            Event::GroupBoost { .. } => "group_boost",
+            Event::CountUpdate { .. } => "count_update",
+            Event::CostUpdate { .. } => "cost_update",
+            Event::ShardAgg { .. } => "shard_agg",
+            Event::QueryDone { .. } => "query_done",
+        }
+    }
+
+    /// Serializes the event as one JSON object into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        use crate::json::{push_f64, push_str};
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        let field_u = |out: &mut String, k: &str, v: u64| {
+            out.push(',');
+            push_str(out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        };
+        match self {
+            Event::ProbeStart {
+                query,
+                gb,
+                chunks,
+                version,
+                strategy,
+            } => {
+                field_u(out, "query", *query);
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunks", *chunks);
+                field_u(out, "version", *version);
+                out.push_str(",\"strategy\":");
+                push_str(out, strategy);
+            }
+            Event::ChunkLookup {
+                query,
+                gb,
+                chunk,
+                outcome,
+                nodes,
+            } => {
+                field_u(out, "query", *query);
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                out.push_str(",\"outcome\":");
+                push_str(out, outcome.name());
+                field_u(out, "nodes", *nodes);
+            }
+            Event::ProbeEnd {
+                query,
+                gb,
+                version,
+                hits,
+                computable,
+                missing,
+                demoted,
+                wall_ns,
+            } => {
+                field_u(out, "query", *query);
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "version", *version);
+                field_u(out, "hits", *hits);
+                field_u(out, "computable", *computable);
+                field_u(out, "missing", *missing);
+                field_u(out, "demoted", *demoted);
+                field_u(out, "wall_ns", *wall_ns);
+            }
+            Event::PlanChosen {
+                query,
+                gb,
+                chunk,
+                leaves,
+                levels,
+                predicted_tuples,
+                actual_tuples,
+            } => {
+                field_u(out, "query", *query);
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "leaves", *leaves);
+                out.push_str(",\"levels\":[");
+                for (i, l) in levels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&l.to_string());
+                }
+                out.push(']');
+                field_u(out, "predicted_tuples", *predicted_tuples);
+                field_u(out, "actual_tuples", *actual_tuples);
+            }
+            Event::BackendFetch {
+                gb,
+                chunks,
+                tuples_scanned,
+                result_tuples,
+                virtual_ms,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunks", *chunks);
+                field_u(out, "tuples_scanned", *tuples_scanned);
+                field_u(out, "result_tuples", *result_tuples);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::CacheInsert {
+                gb,
+                chunk,
+                tier,
+                bytes,
+                admitted,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                out.push_str(",\"tier\":");
+                push_str(out, tier.name());
+                field_u(out, "bytes", *bytes);
+                out.push_str(",\"admitted\":");
+                out.push_str(if *admitted { "true" } else { "false" });
+            }
+            Event::Evict {
+                gb,
+                chunk,
+                tier,
+                clock_round,
+                clock,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                out.push_str(",\"tier\":");
+                push_str(out, tier.name());
+                field_u(out, "clock_round", *clock_round);
+                out.push_str(",\"clock\":");
+                push_f64(out, *clock);
+            }
+            Event::GroupBoost { chunks, amount } => {
+                field_u(out, "chunks", *chunks);
+                out.push_str(",\"amount\":");
+                push_f64(out, *amount);
+            }
+            Event::CountUpdate {
+                gb,
+                chunk,
+                writes,
+                evict,
+            }
+            | Event::CostUpdate {
+                gb,
+                chunk,
+                writes,
+                evict,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "writes", *writes);
+                out.push_str(",\"evict\":");
+                out.push_str(if *evict { "true" } else { "false" });
+            }
+            Event::ShardAgg {
+                phase,
+                shard,
+                shards,
+                cells,
+                wall_ns,
+            } => {
+                field_u(out, "phase", u64::from(*phase));
+                field_u(out, "shard", u64::from(*shard));
+                field_u(out, "shards", u64::from(*shards));
+                field_u(out, "cells", *cells);
+                field_u(out, "wall_ns", *wall_ns);
+            }
+            Event::QueryDone {
+                query,
+                gb,
+                complete_hit,
+                chunks_hit,
+                chunks_computed,
+                chunks_missed,
+                chunks_demoted,
+                tuples_aggregated,
+                backend_tuples,
+                lookup_nodes,
+                table_writes,
+                backend_virtual_ms,
+                agg_virtual_ms,
+                lookup_virtual_ms,
+                update_virtual_ms,
+                total_virtual_ms,
+                probe_ns,
+                apply_ns,
+                agg_ns,
+                lookup_ns,
+                update_ns,
+            } => {
+                field_u(out, "query", *query);
+                field_u(out, "gb", u64::from(*gb));
+                out.push_str(",\"complete_hit\":");
+                out.push_str(if *complete_hit { "true" } else { "false" });
+                field_u(out, "chunks_hit", *chunks_hit);
+                field_u(out, "chunks_computed", *chunks_computed);
+                field_u(out, "chunks_missed", *chunks_missed);
+                field_u(out, "chunks_demoted", *chunks_demoted);
+                field_u(out, "tuples_aggregated", *tuples_aggregated);
+                field_u(out, "backend_tuples", *backend_tuples);
+                field_u(out, "lookup_nodes", *lookup_nodes);
+                field_u(out, "table_writes", *table_writes);
+                for (k, v) in [
+                    ("backend_virtual_ms", backend_virtual_ms),
+                    ("agg_virtual_ms", agg_virtual_ms),
+                    ("lookup_virtual_ms", lookup_virtual_ms),
+                    ("update_virtual_ms", update_virtual_ms),
+                    ("total_virtual_ms", total_virtual_ms),
+                ] {
+                    out.push(',');
+                    push_str(out, k);
+                    out.push(':');
+                    push_f64(out, *v);
+                }
+                field_u(out, "probe_ns", *probe_ns);
+                field_u(out, "apply_ns", *apply_ns);
+                field_u(out, "agg_ns", *agg_ns);
+                field_u(out, "lookup_ns", *lookup_ns);
+                field_u(out, "update_ns", *update_ns);
+            }
+        }
+        out.push('}');
+    }
+}

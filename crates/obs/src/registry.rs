@@ -1,0 +1,457 @@
+use crate::json::{push_f64, push_str};
+use crate::{Event, Histogram, LookupOutcome, Tier, Tracer};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Per-group-by-level counters aggregated from [`Event::QueryDone`] and
+/// lookup events.
+#[derive(Debug, Default, Clone)]
+pub struct LevelStats {
+    /// Queries answered at this group-by.
+    pub queries: u64,
+    /// Complete hits (answered entirely from the cache).
+    pub complete_hits: u64,
+    /// Chunks answered directly from the cache.
+    pub chunks_hit: u64,
+    /// Chunks computed by in-cache aggregation.
+    pub chunks_computed: u64,
+    /// Chunks fetched from the backend.
+    pub chunks_missed: u64,
+    /// Chunks demoted to backend fetches by the cost-based optimizer.
+    pub chunks_demoted: u64,
+    /// Tuples aggregated in the cache.
+    pub tuples_aggregated: u64,
+    /// Base tuples scanned by the backend.
+    pub backend_tuples: u64,
+    /// Lattice nodes visited during lookups.
+    pub lookup_nodes: u64,
+    /// Count/cost table cells written.
+    pub table_writes: u64,
+    /// Virtual backend milliseconds.
+    pub backend_virtual_ms: f64,
+    /// Virtual aggregation milliseconds.
+    pub agg_virtual_ms: f64,
+    /// Virtual lookup milliseconds.
+    pub lookup_virtual_ms: f64,
+    /// Virtual table-update milliseconds.
+    pub update_virtual_ms: f64,
+}
+
+#[derive(Default)]
+struct Inner {
+    levels: BTreeMap<u32, LevelStats>,
+    /// Wall-clock histograms (nanoseconds). Strictly separate from `virt`.
+    wall_ns: BTreeMap<&'static str, Histogram>,
+    /// Virtual-time histograms (microseconds). Strictly separate from
+    /// `wall_ns`.
+    virtual_us: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Inner {
+    fn bump(&mut self, key: &'static str, by: u64) {
+        *self.counters.entry(key).or_insert(0) += by;
+    }
+
+    fn wall(&mut self, key: &'static str, ns: u64) {
+        self.wall_ns.entry(key).or_default().record(ns as f64);
+    }
+
+    fn virt(&mut self, key: &'static str, us: f64) {
+        self.virtual_us.entry(key).or_default().record(us);
+    }
+}
+
+/// Aggregates the event stream into per-group-by-level counters plus
+/// latency histograms, with JSON and CSV exporters.
+///
+/// Implements [`Tracer`], so it can be installed directly or composed with
+/// a [`crate::RecordingTracer`] behind a [`crate::FanoutTracer`].
+///
+/// Wall-clock nanoseconds (`wall_ns` namespace) and virtual-time
+/// microseconds (`virtual_us` namespace) are kept strictly separate: no
+/// histogram, counter or export column ever mixes the two domains.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the per-level stats, keyed by group-by id.
+    pub fn levels(&self) -> BTreeMap<u32, LevelStats> {
+        self.inner.lock().unwrap().levels.clone()
+    }
+
+    /// Snapshot of one named counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of a wall-clock histogram (nanoseconds), if recorded.
+    pub fn wall_histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().unwrap().wall_ns.get(name).cloned()
+    }
+
+    /// Snapshot of a virtual-time histogram (microseconds), if recorded.
+    pub fn virtual_histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().unwrap().virtual_us.get(name).cloned()
+    }
+
+    /// Serializes the registry as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Serializes the registry as one JSON object into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        let inner = self.inner.lock().unwrap();
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"levels\":[");
+        for (i, (gb, s)) in inner.levels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"gb\":{gb}");
+            for (k, v) in [
+                ("queries", s.queries),
+                ("complete_hits", s.complete_hits),
+                ("chunks_hit", s.chunks_hit),
+                ("chunks_computed", s.chunks_computed),
+                ("chunks_missed", s.chunks_missed),
+                ("chunks_demoted", s.chunks_demoted),
+                ("tuples_aggregated", s.tuples_aggregated),
+                ("backend_tuples", s.backend_tuples),
+                ("lookup_nodes", s.lookup_nodes),
+                ("table_writes", s.table_writes),
+            ] {
+                out.push(',');
+                push_str(out, k);
+                out.push(':');
+                out.push_str(&v.to_string());
+            }
+            for (k, v) in [
+                ("backend_virtual_ms", s.backend_virtual_ms),
+                ("agg_virtual_ms", s.agg_virtual_ms),
+                ("lookup_virtual_ms", s.lookup_virtual_ms),
+                ("update_virtual_ms", s.update_virtual_ms),
+            ] {
+                out.push(',');
+                push_str(out, k);
+                out.push(':');
+                push_f64(out, v);
+            }
+            out.push('}');
+        }
+        out.push_str("],\"wall_ns\":{");
+        for (i, (k, h)) in inner.wall_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(out, k);
+            out.push(':');
+            h.write_json(out);
+        }
+        out.push_str("},\"virtual_us\":{");
+        for (i, (k, h)) in inner.virtual_us.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(out, k);
+            out.push(':');
+            h.write_json(out);
+        }
+        out.push_str("}}");
+    }
+
+    /// Serializes the per-level table as CSV (header + one row per
+    /// group-by). Wall-clock columns are deliberately absent: per-level
+    /// aggregates are virtual-time only.
+    pub fn to_csv(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from(
+            "gb,queries,complete_hits,chunks_hit,chunks_computed,chunks_missed,\
+             chunks_demoted,tuples_aggregated,backend_tuples,lookup_nodes,table_writes,\
+             backend_virtual_ms,agg_virtual_ms,lookup_virtual_ms,update_virtual_ms\n",
+        );
+        for (gb, s) in &inner.levels {
+            let _ = writeln!(
+                out,
+                "{gb},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.queries,
+                s.complete_hits,
+                s.chunks_hit,
+                s.chunks_computed,
+                s.chunks_missed,
+                s.chunks_demoted,
+                s.tuples_aggregated,
+                s.backend_tuples,
+                s.lookup_nodes,
+                s.table_writes,
+                s.backend_virtual_ms,
+                s.agg_virtual_ms,
+                s.lookup_virtual_ms,
+                s.update_virtual_ms,
+            );
+        }
+        out
+    }
+}
+
+impl Tracer for MetricsRegistry {
+    fn emit(&self, event: &Event) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.bump("events", 1);
+        match event {
+            Event::ProbeStart { .. } => inner.bump("probe_start", 1),
+            Event::ChunkLookup { outcome, nodes, .. } => {
+                inner.bump(
+                    match outcome {
+                        LookupOutcome::Hit => "lookup_hit",
+                        LookupOutcome::Computable => "lookup_computable",
+                        LookupOutcome::Miss => "lookup_miss",
+                    },
+                    1,
+                );
+                inner.bump("lookup_nodes", *nodes);
+            }
+            Event::ProbeEnd { wall_ns, .. } => {
+                inner.bump("probe_end", 1);
+                inner.wall("probe", *wall_ns);
+            }
+            Event::PlanChosen {
+                predicted_tuples,
+                actual_tuples,
+                ..
+            } => {
+                inner.bump("plans_chosen", 1);
+                inner.bump("plan_predicted_tuples", *predicted_tuples);
+                inner.bump("plan_actual_tuples", *actual_tuples);
+            }
+            Event::BackendFetch { virtual_ms, .. } => {
+                inner.bump("backend_fetches", 1);
+                inner.virt("backend_fetch", virtual_ms * 1000.0);
+            }
+            Event::CacheInsert { admitted, .. } => {
+                inner.bump(
+                    if *admitted {
+                        "inserts_admitted"
+                    } else {
+                        "inserts_refused"
+                    },
+                    1,
+                );
+            }
+            Event::Evict { tier, .. } => {
+                inner.bump(
+                    match tier {
+                        Tier::Fetched => "evictions_fetched",
+                        Tier::Computed => "evictions_computed",
+                    },
+                    1,
+                );
+            }
+            Event::GroupBoost { .. } => inner.bump("group_boosts", 1),
+            Event::CountUpdate { writes, .. } => {
+                inner.bump("count_updates", 1);
+                inner.bump("count_update_writes", *writes);
+            }
+            Event::CostUpdate { writes, .. } => {
+                inner.bump("cost_updates", 1);
+                inner.bump("cost_update_writes", *writes);
+            }
+            Event::ShardAgg { wall_ns, .. } => {
+                inner.bump("shard_aggs", 1);
+                inner.wall("shard_agg", *wall_ns);
+            }
+            Event::QueryDone {
+                gb,
+                complete_hit,
+                chunks_hit,
+                chunks_computed,
+                chunks_missed,
+                chunks_demoted,
+                tuples_aggregated,
+                backend_tuples,
+                lookup_nodes,
+                table_writes,
+                backend_virtual_ms,
+                agg_virtual_ms,
+                lookup_virtual_ms,
+                update_virtual_ms,
+                total_virtual_ms,
+                probe_ns,
+                apply_ns,
+                agg_ns,
+                lookup_ns,
+                update_ns,
+                ..
+            } => {
+                inner.bump("queries", 1);
+                let s = inner.levels.entry(*gb).or_default();
+                s.queries += 1;
+                s.complete_hits += u64::from(*complete_hit);
+                s.chunks_hit += chunks_hit;
+                s.chunks_computed += chunks_computed;
+                s.chunks_missed += chunks_missed;
+                s.chunks_demoted += chunks_demoted;
+                s.tuples_aggregated += tuples_aggregated;
+                s.backend_tuples += backend_tuples;
+                s.lookup_nodes += lookup_nodes;
+                s.table_writes += table_writes;
+                s.backend_virtual_ms += backend_virtual_ms;
+                s.agg_virtual_ms += agg_virtual_ms;
+                s.lookup_virtual_ms += lookup_virtual_ms;
+                s.update_virtual_ms += update_virtual_ms;
+                inner.virt("query_total", total_virtual_ms * 1000.0);
+                inner.wall("query_probe", *probe_ns);
+                inner.wall("query_apply", *apply_ns);
+                inner.wall("query_agg", *agg_ns);
+                inner.wall("query_lookup", *lookup_ns);
+                inner.wall("query_update", *update_ns);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn query_done(gb: u32, hit: bool) -> Event {
+        Event::QueryDone {
+            query: 1,
+            gb,
+            complete_hit: hit,
+            chunks_hit: 2,
+            chunks_computed: 1,
+            chunks_missed: u64::from(!hit),
+            chunks_demoted: 0,
+            tuples_aggregated: 100,
+            backend_tuples: 50,
+            lookup_nodes: 7,
+            table_writes: 3,
+            backend_virtual_ms: 10.0,
+            agg_virtual_ms: 0.05,
+            lookup_virtual_ms: 0.0014,
+            update_virtual_ms: 0.003,
+            total_virtual_ms: 10.0544,
+            probe_ns: 1000,
+            apply_ns: 5000,
+            agg_ns: 2000,
+            lookup_ns: 900,
+            update_ns: 100,
+        }
+    }
+
+    #[test]
+    fn aggregates_per_level() {
+        let r = MetricsRegistry::new();
+        r.emit(&query_done(3, true));
+        r.emit(&query_done(3, false));
+        r.emit(&query_done(5, true));
+        let levels = r.levels();
+        assert_eq!(levels.len(), 2);
+        let l3 = &levels[&3];
+        assert_eq!(l3.queries, 2);
+        assert_eq!(l3.complete_hits, 1);
+        assert_eq!(l3.chunks_hit, 4);
+        assert_eq!(l3.tuples_aggregated, 200);
+        assert!((l3.backend_virtual_ms - 20.0).abs() < 1e-12);
+        assert_eq!(r.counter("queries"), 3);
+        assert_eq!(r.counter("events"), 3);
+    }
+
+    #[test]
+    fn wall_and_virtual_namespaces_stay_separate() {
+        let r = MetricsRegistry::new();
+        r.emit(&query_done(0, true));
+        r.emit(&Event::BackendFetch {
+            gb: 0,
+            chunks: 2,
+            tuples_scanned: 10,
+            result_tuples: 4,
+            virtual_ms: 300.0,
+        });
+        // Virtual namespace has virtual entries only; wall has wall only.
+        assert!(r.virtual_histogram("backend_fetch").is_some());
+        assert!(r.virtual_histogram("query_total").is_some());
+        assert!(r.wall_histogram("backend_fetch").is_none());
+        assert!(r.wall_histogram("query_total").is_none());
+        assert!(r.wall_histogram("query_probe").is_some());
+        assert!(r.virtual_histogram("query_probe").is_none());
+        // 300 ms = 300_000 µs.
+        let h = r.virtual_histogram("backend_fetch").unwrap();
+        assert_eq!(h.sum(), 300_000.0);
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let r = MetricsRegistry::new();
+        r.emit(&query_done(2, true));
+        r.emit(&Event::ChunkLookup {
+            query: 1,
+            gb: 2,
+            chunk: 0,
+            outcome: LookupOutcome::Hit,
+            nodes: 1,
+        });
+        let json = r.to_json();
+        let v = JsonValue::parse(&json).expect("valid JSON");
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("queries").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            counters.get("lookup_hit").and_then(JsonValue::as_f64),
+            Some(1.0)
+        );
+        let levels = v.get("levels").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(levels.len(), 1);
+        assert_eq!(levels[0].get("gb").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(
+            levels[0]
+                .get("backend_virtual_ms")
+                .and_then(JsonValue::as_f64),
+            Some(10.0)
+        );
+        assert!(v.get("wall_ns").unwrap().get("query_probe").is_some());
+        assert!(v.get("virtual_us").unwrap().get("query_total").is_some());
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_level() {
+        let r = MetricsRegistry::new();
+        r.emit(&query_done(1, true));
+        r.emit(&query_done(4, false));
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("gb,queries,complete_hits"));
+        assert!(lines[1].starts_with("1,1,1,"));
+        assert!(lines[2].starts_with("4,1,0,"));
+    }
+}

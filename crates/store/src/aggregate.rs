@@ -416,6 +416,23 @@ pub fn aggregate_to_level_parallel(
     lift: Lift,
     threads: usize,
 ) -> (ChunkData, u64) {
+    aggregate_to_level_parallel_traced(schema, sources, target, agg, lift, threads, None)
+}
+
+/// [`aggregate_to_level_parallel`] with an optional trace sink: each
+/// partition worker (phase 0) and each shard reducer (phase 1) emits one
+/// `ShardAgg` event carrying its cell count and wall-clock time, so load
+/// imbalance across the exchange is visible per shard. Tracing never
+/// touches the aggregation itself — results stay bit-identical.
+pub fn aggregate_to_level_parallel_traced(
+    schema: &Schema,
+    sources: &[(&[u8], &ChunkData)],
+    target: &[u8],
+    agg: AggFn,
+    lift: Lift,
+    threads: usize,
+    tracer: Option<&dyn aggcache_obs::Tracer>,
+) -> (ChunkData, u64) {
     let total: usize = sources.iter().map(|(_, d)| d.len()).sum();
     let sequential = |schema: &Schema| {
         let mut a = Aggregator::new(schema, target, agg);
@@ -442,6 +459,7 @@ pub fn aggregate_to_level_parallel(
         let handles: Vec<_> = (0..nshards)
             .map(|r| {
                 s.spawn(move || {
+                    let t_start = std::time::Instant::now();
                     let (lo, hi) = (bounds[r], bounds[r + 1]);
                     // Expected bucket fill is range/nshards; slight headroom
                     // avoids most reallocation without overcommitting.
@@ -475,6 +493,15 @@ pub fn aggregate_to_level_parallel(
                         }
                         pos += len;
                     }
+                    if let Some(tracer) = tracer {
+                        tracer.emit(&aggcache_obs::Event::ShardAgg {
+                            phase: 0,
+                            shard: r as u32,
+                            shards: nshards as u32,
+                            cells: (hi - lo) as u64,
+                            wall_ns: t_start.elapsed().as_nanos() as u64,
+                        });
+                    }
                     buckets
                 })
             })
@@ -488,10 +515,20 @@ pub fn aggregate_to_level_parallel(
         let handles: Vec<_> = (0..nshards)
             .map(|t| {
                 s.spawn(move || {
+                    let t_start = std::time::Instant::now();
                     let mut a =
                         Aggregator::new_sharded(schema, target, agg, t as u32, nshards as u32);
                     for range in runs {
                         a.add_encoded(range[t].iter().copied());
+                    }
+                    if let Some(tracer) = tracer {
+                        tracer.emit(&aggcache_obs::Event::ShardAgg {
+                            phase: 1,
+                            shard: t as u32,
+                            shards: nshards as u32,
+                            cells: a.cells_added(),
+                            wall_ns: t_start.elapsed().as_nanos() as u64,
+                        });
                     }
                     a
                 })

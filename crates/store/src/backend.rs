@@ -1,5 +1,6 @@
 use crate::{AggFn, Aggregator, FactTable, Lift};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkNumber};
+use aggcache_obs::{Event, Tracer};
 use aggcache_schema::GroupById;
 use std::fmt;
 use std::sync::Arc;
@@ -101,7 +102,6 @@ pub struct FetchResult {
 /// paper's §7.1 names as one of the factors behind the backend-vs-cache
 /// ratio. A fetch answers from the smallest table that can compute the
 /// requested group-by, exactly like a view-matching optimizer.
-#[derive(Debug)]
 pub struct Backend {
     fact: FactTable,
     /// Pre-computed aggregate tables (values already lifted), as a DBA
@@ -110,6 +110,20 @@ pub struct Backend {
     materialized: Vec<FactTable>,
     agg: AggFn,
     cost: BackendCostModel,
+    /// Optional trace sink: emits one `BackendFetch` per fetch call.
+    tracer: Option<Arc<dyn Tracer>>,
+}
+
+impl fmt::Debug for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Backend")
+            .field("fact", &self.fact)
+            .field("materialized", &self.materialized)
+            .field("agg", &self.agg)
+            .field("cost", &self.cost)
+            .field("traced", &self.tracer.is_some())
+            .finish()
+    }
 }
 
 impl Backend {
@@ -120,7 +134,13 @@ impl Backend {
             materialized: Vec::new(),
             agg,
             cost,
+            tracer: None,
         }
+    }
+
+    /// Installs (or removes) the trace event sink.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {
+        self.tracer = tracer;
     }
 
     /// Adds pre-computed aggregate tables at the given group-bys. Each must
@@ -229,6 +249,15 @@ impl Backend {
             out.push((chunk, data));
         }
         let virtual_ms = self.cost.fetch_ms(scanned, returned);
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(&Event::BackendFetch {
+                gb: gb.0,
+                chunks: chunks.len() as u64,
+                tuples_scanned: scanned,
+                result_tuples: returned,
+                virtual_ms,
+            });
+        }
         Ok(FetchResult {
             chunks: out,
             virtual_ms,

@@ -16,7 +16,8 @@ mod backend;
 mod fact;
 
 pub use aggregate::{
-    aggregate_to_level, aggregate_to_level_parallel, AggFn, Aggregator, Lift, Rollup,
+    aggregate_to_level, aggregate_to_level_parallel, aggregate_to_level_parallel_traced, AggFn,
+    Aggregator, Lift, Rollup,
 };
 pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
 pub use fact::FactTable;

@@ -19,10 +19,12 @@ fn main() {
     let lattice = grid.schema().lattice().clone();
     let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
     let cost_model = *backend.cost_model();
-    let mut manager = CacheManager::new(
-        backend,
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 8 * 1_000_000),
-    );
+    let mut manager = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(8 * 1_000_000)
+        .build(backend)
+        .unwrap();
 
     // Cache the base level plus one intermediate group-by, so some chunks
     // have several computation paths with different costs.

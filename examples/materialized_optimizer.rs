@@ -35,10 +35,14 @@ fn build_manager(optimizer: bool) -> CacheManager {
     )
     .with_materialized(&materialized)
     .unwrap();
-    let mut config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 64 * 1_000_000);
-    config.cache_per_tuple_us = 1.0; // a busier middle tier
-    config.optimizer = optimizer;
-    CacheManager::new(backend, config)
+    CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(64 * 1_000_000)
+        .cache_per_tuple_us(1.0) // a busier middle tier
+        .optimizer(optimizer)
+        .build(backend)
+        .unwrap()
 }
 
 fn session(optimizer: bool) -> (f64, usize, usize) {

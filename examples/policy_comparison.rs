@@ -19,7 +19,12 @@ fn run(
     }
     .build();
     let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
-    let mut manager = CacheManager::new(backend, ManagerConfig::new(strategy, policy, cache_bytes));
+    let mut manager = CacheManager::builder()
+        .strategy(strategy)
+        .policy(policy)
+        .cache_bytes(cache_bytes)
+        .build(backend)
+        .unwrap();
     if preload {
         let _ = manager.preload_best().unwrap();
     }

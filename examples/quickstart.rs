@@ -16,10 +16,12 @@ fn main() {
         .build();
 
     let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
-    let mut manager = CacheManager::new(
-        backend,
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 2 * 1024 * 1024),
-    );
+    let mut manager = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(2 * 1024 * 1024)
+        .build(backend)
+        .unwrap();
     let grid = manager.grid().clone();
     let lattice = grid.schema().lattice().clone();
 

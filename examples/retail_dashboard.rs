@@ -38,10 +38,12 @@ fn main() {
     let grid = dataset.grid.clone();
     let lattice = grid.schema().lattice().clone();
     let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
-    let mut manager = CacheManager::new(
-        backend,
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 6 * 1_000_000),
-    );
+    let mut manager = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(6 * 1_000_000)
+        .build(backend)
+        .unwrap();
 
     // Pre-load per the two-level policy.
     if let Some(report) = manager.preload_best().unwrap() {

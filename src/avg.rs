@@ -6,8 +6,12 @@
 //! through their own active caches and joins the results cell by cell.
 
 use aggcache_chunks::ChunkData;
-use aggcache_core::{CacheManager, ManagerConfig, Query, QueryMetrics};
-use aggcache_store::{AggFn, Backend, BackendCostModel, FactTable, StoreError};
+use aggcache_core::{
+    CacheError, CacheManager, CacheManagerBuilder, ConfigError, ManagerConfig, Query, QueryMetrics,
+};
+use aggcache_obs::Tracer;
+use aggcache_store::{AggFn, Backend, BackendCostModel, FactTable};
+use std::sync::Arc;
 
 /// Per-query metrics of an AVG execution: one entry per underlying cube.
 #[derive(Debug, Clone, Copy)]
@@ -42,11 +46,13 @@ impl AvgMetrics {
 ///     .dim("b", vec![1, 4], vec![1, 2])
 ///     .tuples(200)
 ///     .build();
-/// let mut avg = AvgCache::new(
-///     dataset.fact,
-///     BackendCostModel::default(),
-///     ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 1 << 20),
-/// );
+/// let config = CacheManagerBuilder::new()
+///     .strategy(Strategy::Vcmc)
+///     .policy(PolicyKind::TwoLevel)
+///     .cache_bytes(1 << 20)
+///     .config()
+///     .unwrap();
+/// let mut avg = AvgCache::new(dataset.fact, BackendCostModel::default(), config).unwrap();
 /// let grid = avg.grid().clone();
 /// let top = grid.schema().lattice().top();
 /// let (cells, _) = avg.execute(&Query::full_group_by(&grid, top)).unwrap();
@@ -59,16 +65,27 @@ pub struct AvgCache {
 }
 
 impl AvgCache {
-    /// Builds the two caches over (clones of) `fact`. Each cache gets the
-    /// full configured budget; halve `config.cache_bytes` to model a shared
-    /// budget.
-    pub fn new(fact: FactTable, cost: BackendCostModel, config: ManagerConfig) -> Self {
+    /// Builds the two caches over (clones of) `fact`, validating `config`.
+    /// Each cache gets the full configured budget; halve
+    /// `config.cache_bytes` to model a shared budget.
+    pub fn new(
+        fact: FactTable,
+        cost: BackendCostModel,
+        config: ManagerConfig,
+    ) -> Result<Self, ConfigError> {
         let sum_backend = Backend::new(fact.clone(), AggFn::Sum, cost);
         let count_backend = Backend::new(fact, AggFn::Count, cost);
-        Self {
-            sum: CacheManager::new(sum_backend, config),
-            count: CacheManager::new(count_backend, config),
-        }
+        Ok(Self {
+            sum: CacheManagerBuilder::from_config(config).build(sum_backend)?,
+            count: CacheManagerBuilder::from_config(config).build(count_backend)?,
+        })
+    }
+
+    /// Attaches a tracer to both underlying caches (SUM and COUNT events
+    /// interleave in the same sink).
+    pub fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {
+        self.sum.set_tracer(tracer.clone());
+        self.count.set_tracer(tracer);
     }
 
     /// The grid (shared by both cubes).
@@ -87,14 +104,14 @@ impl AvgCache {
     }
 
     /// Pre-loads both cubes per the two-level policy.
-    pub fn preload_best(&mut self) -> Result<(), StoreError> {
+    pub fn preload_best(&mut self) -> Result<(), CacheError> {
         self.sum.preload_best()?;
         self.count.preload_best()?;
         Ok(())
     }
 
     /// Executes a query on both cubes and joins the cells into averages.
-    pub fn execute(&mut self, query: &Query) -> Result<(ChunkData, AvgMetrics), StoreError> {
+    pub fn execute(&mut self, query: &Query) -> Result<(ChunkData, AvgMetrics), CacheError> {
         let sums = self.sum.execute(query)?;
         let counts = self.count.execute(query)?;
         Ok(Self::join(sums, counts))
@@ -110,7 +127,7 @@ impl AvgCache {
     pub fn execute_batch(
         &mut self,
         queries: &[Query],
-    ) -> Result<Vec<(ChunkData, AvgMetrics)>, StoreError> {
+    ) -> Result<Vec<(ChunkData, AvgMetrics)>, CacheError> {
         let sums = self.sum.execute_batch(queries)?;
         let counts = self.count.execute_batch(queries)?;
         Ok(sums
@@ -160,6 +177,15 @@ mod tests {
             .build()
     }
 
+    fn test_config() -> ManagerConfig {
+        CacheManagerBuilder::new()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(1 << 22)
+            .config()
+            .unwrap()
+    }
+
     #[test]
     fn avg_equals_sum_over_count() {
         let ds = dataset();
@@ -167,11 +193,7 @@ mod tests {
         let sum_backend = Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default());
         let count_backend =
             Backend::new(ds.fact.clone(), AggFn::Count, BackendCostModel::default());
-        let mut avg = AvgCache::new(
-            ds.fact,
-            BackendCostModel::default(),
-            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 1 << 22),
-        );
+        let mut avg = AvgCache::new(ds.fact, BackendCostModel::default(), test_config()).unwrap();
         for gb in grid.schema().lattice().iter_ids() {
             let q = Query::full_group_by(&grid, gb);
             let (cells, _) = avg.execute(&q).unwrap();
@@ -199,11 +221,7 @@ mod tests {
     fn avg_rollups_hit_the_caches() {
         let ds = dataset();
         let grid = ds.grid.clone();
-        let mut avg = AvgCache::new(
-            ds.fact,
-            BackendCostModel::default(),
-            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 1 << 22),
-        );
+        let mut avg = AvgCache::new(ds.fact, BackendCostModel::default(), test_config()).unwrap();
         let base = grid.schema().lattice().base();
         let top = grid.schema().lattice().top();
         avg.execute(&Query::full_group_by(&grid, base)).unwrap();

@@ -20,10 +20,12 @@
 //!     .build();
 //!
 //! let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
-//! let mut manager = CacheManager::new(
-//!     backend,
-//!     ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 64 * 1024),
-//! );
+//! let mut manager = CacheManager::builder()
+//!     .strategy(Strategy::Vcmc)
+//!     .policy(PolicyKind::TwoLevel)
+//!     .cache_bytes(64 * 1024)
+//!     .build(backend)
+//!     .unwrap();
 //!
 //! // First query: chunks come from the backend and are cached.
 //! let grid = manager.grid().clone();
@@ -50,6 +52,7 @@
 //! | [`cache`] | byte-budgeted chunk cache, benefit & two-level policies |
 //! | [`core`] | ESM/ESMC/VCM/VCMC lookup, count/cost tables, manager |
 //! | [`workload`] | drill-down/roll-up/proximity/random query streams |
+//! | [`obs`] | trace events, tracer trait, metrics registry, exporters |
 
 #![warn(missing_docs)]
 
@@ -59,6 +62,7 @@ pub use aggcache_cache as cache;
 pub use aggcache_chunks as chunks;
 pub use aggcache_core as core;
 pub use aggcache_gen as gen;
+pub use aggcache_obs as obs;
 pub use aggcache_schema as schema;
 pub use aggcache_store as store;
 pub use aggcache_workload as workload;
@@ -68,11 +72,12 @@ pub mod prelude {
     pub use aggcache_cache::{CachedChunk, ChunkCache, Origin, PolicyKind};
     pub use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, ChunkNumber, PAPER_TUPLE_BYTES};
     pub use aggcache_core::{
-        CacheManager, ComputationPlan, CostTable, CountTable, LookupStats, ManagerConfig,
-        PreloadReport, Query, QueryMetrics, QueryProbe, QueryResult, SessionMetrics, Strategy,
-        TableKind, ValueQuery,
+        CacheError, CacheManager, CacheManagerBuilder, ComputationPlan, ConfigError, CostTable,
+        CountTable, LookupStats, ManagerConfig, PreloadReport, Query, QueryMetrics, QueryProbe,
+        QueryResult, SessionMetrics, Strategy, TableKind, ValueQuery,
     };
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
+    pub use aggcache_obs::{Event, MetricsRegistry, RecordingTracer, Tracer};
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
     pub use aggcache_store::{AggFn, Backend, BackendCostModel, FactTable, Lift};
     pub use aggcache_workload::{QueryKind, QueryMix, QueryStream, WorkloadConfig};

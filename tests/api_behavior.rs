@@ -213,10 +213,12 @@ mod manager_api {
             .build();
         let grid = ds.grid.clone();
         let backend = Backend::new(ds.fact, AggFn::Sum, BackendCostModel::default());
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, usize::MAX >> 1),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(backend)
+            .unwrap();
         let base = grid.schema().lattice().base();
         let top = grid.schema().lattice().top();
         mgr.execute(&Query::full_group_by(&grid, base)).unwrap();
@@ -235,10 +237,12 @@ mod manager_api {
         let gb = grid.schema().lattice().id_of(&[1, 0]).unwrap();
         let dataset = Dataset::generate(grid.clone(), gb, 10, 1.0, 4);
         let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, usize::MAX >> 1),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(backend)
+            .unwrap();
         let base = grid.schema().lattice().base();
         assert!(mgr.execute(&Query::new(base, vec![0])).is_err());
         assert!(mgr.execute(&Query::new(gb, vec![0])).is_ok());
@@ -252,10 +256,12 @@ mod manager_api {
             .build();
         let backend = Backend::new(ds.fact, AggFn::Sum, BackendCostModel::default());
         // Budget of one tuple: even the top group-by estimate won't fit.
-        let mut mgr = CacheManager::new(
-            backend,
-            ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, 1),
-        );
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(1)
+            .build(backend)
+            .unwrap();
         assert!(mgr.preload_best().unwrap().is_none());
     }
 }

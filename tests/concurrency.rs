@@ -42,10 +42,13 @@ fn manager_for(
     threads: usize,
 ) -> CacheManager {
     let backend = Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default());
-    CacheManager::new(
-        backend,
-        ManagerConfig::new(strategy, policy, cache_bytes).with_threads(threads),
-    )
+    CacheManager::builder()
+        .strategy(strategy)
+        .policy(policy)
+        .cache_bytes(cache_bytes)
+        .threads(threads)
+        .build(backend)
+        .unwrap()
 }
 
 fn assert_data_bit_identical(a: &ChunkData, b: &ChunkData, ctx: &str) {
@@ -236,17 +239,16 @@ fn vcmc_batch_equals_sequential() {
 fn avg_batch_equals_sequential() {
     let ds = dataset();
     let queries = stream_queries(&ds, 24, 4_000);
-    let config = ManagerConfig::new(
-        Strategy::Vcmc,
-        PolicyKind::TwoLevel,
-        900 * PAPER_TUPLE_BYTES,
-    );
-    let mut seq = AvgCache::new(ds.fact.clone(), BackendCostModel::default(), config);
-    let mut bat = AvgCache::new(
-        ds.fact.clone(),
-        BackendCostModel::default(),
-        config.with_threads(4),
-    );
+    let builder = || {
+        CacheManagerBuilder::new()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(900 * PAPER_TUPLE_BYTES)
+    };
+    let config = builder().config().unwrap();
+    let batched = builder().threads(4).config().unwrap();
+    let mut seq = AvgCache::new(ds.fact.clone(), BackendCostModel::default(), config).unwrap();
+    let mut bat = AvgCache::new(ds.fact.clone(), BackendCostModel::default(), batched).unwrap();
     seq.preload_best().unwrap();
     bat.preload_best().unwrap();
     let seq_results: Vec<_> = queries.iter().map(|q| seq.execute(q).unwrap()).collect();

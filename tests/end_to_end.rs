@@ -32,7 +32,12 @@ fn run_session(
         AggFn::Sum,
         BackendCostModel::default(),
     );
-    let mut mgr = CacheManager::new(backend, ManagerConfig::new(strategy, policy, cache_bytes));
+    let mut mgr = CacheManager::builder()
+        .strategy(strategy)
+        .policy(policy)
+        .cache_bytes(cache_bytes)
+        .build(backend)
+        .unwrap();
     if preload {
         mgr.preload_best().unwrap();
     }
@@ -106,8 +111,8 @@ fn vcmc_costs_consistent_after_apb_stream() {
         for chunk in (0..ds.grid.n_chunks(gb)).step_by(7) {
             let key = ChunkKey::new(gb, chunk);
             if let Some(cost) = costs.cost(key) {
-                let mut stats = LookupStats::default();
-                let plan = mgr.lookup_chunk(key, &mut stats).expect("computable");
+                let (plan, _stats) = mgr.lookup_chunk(key);
+                let plan = plan.expect("computable");
                 assert_eq!(plan.cost, u64::from(cost));
                 let leaf_sum: u64 = plan
                     .leaves
@@ -131,10 +136,12 @@ fn preload_then_aggregated_queries_never_touch_backend() {
     let backend = Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default());
     // Budget comfortably above the base table: pre-load takes the fact
     // level and every answerable query becomes a complete hit.
-    let mut mgr = CacheManager::new(
-        backend,
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 4_000_000),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(4_000_000)
+        .build(backend)
+        .unwrap();
     let report = mgr.preload_best().unwrap().unwrap();
     assert_eq!(report.gb, ds.fact_gb);
     let lattice = ds.grid.schema().lattice().clone();
@@ -152,10 +159,16 @@ fn value_queries_match_filtered_oracle() {
     let grid = ds.grid.clone();
     let lattice = grid.schema().lattice().clone();
     let oracle = Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default());
-    let mut mgr = CacheManager::new(
-        Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default()),
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, 2_000_000),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(2_000_000)
+        .build(Backend::new(
+            ds.fact.clone(),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        ))
+        .unwrap();
     let gb = lattice.id_of(&[2, 1, 2, 0, 0]).unwrap();
     let schema = grid.schema().clone();
     let level = [2u8, 1, 2, 0, 0];

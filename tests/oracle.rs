@@ -35,7 +35,12 @@ fn stream_against_oracle(strategy: Strategy, policy: PolicyKind, cache_bytes: us
         AggFn::Sum,
         BackendCostModel::default(),
     );
-    let mut manager = CacheManager::new(backend, ManagerConfig::new(strategy, policy, cache_bytes));
+    let mut manager = CacheManager::builder()
+        .strategy(strategy)
+        .policy(policy)
+        .cache_bytes(cache_bytes)
+        .build(backend)
+        .unwrap();
 
     let max_level = grid.schema().base_level();
     let mut stream = QueryStream::new(grid.clone(), WorkloadConfig::paper(max_level, 99));
@@ -113,10 +118,12 @@ fn aggregate_functions_agree_with_oracle() {
             .remove(0)
             .1;
         let backend2 = Backend::new(dataset.fact.clone(), agg, BackendCostModel::default());
-        let mut manager = CacheManager::new(
-            backend2,
-            ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1),
-        );
+        let mut manager = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(backend2)
+            .unwrap();
         let base_q = Query::full_group_by(&grid, grid.schema().lattice().base());
         manager.execute(&base_q).unwrap();
         let top_q = Query::full_group_by(&grid, grid.schema().lattice().top());

@@ -32,14 +32,16 @@ fn figure1_closure_property() {
         AggFn::Sum,
         BackendCostModel::default(),
     );
-    let mut mgr = CacheManager::new(
-        Backend::new(
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcm)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(usize::MAX >> 1)
+        .build(Backend::new(
             dataset.fact.clone(),
             AggFn::Sum,
             BackendCostModel::default(),
-        ),
-        ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, usize::MAX >> 1),
-    );
+        ))
+        .unwrap();
     mgr.execute(&Query::full_group_by(&grid, product_time))
         .unwrap();
     let r = mgr.execute(&Query::new(time_only, vec![0])).unwrap();
@@ -62,10 +64,16 @@ fn example1_overlapping_queries_reuse_chunks() {
         .build();
     let grid = dataset.grid.clone();
     let base = grid.schema().lattice().base();
-    let mut mgr = CacheManager::new(
-        Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default()),
-        ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, usize::MAX >> 1),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcm)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(usize::MAX >> 1)
+        .build(Backend::new(
+            dataset.fact,
+            AggFn::Sum,
+            BackendCostModel::default(),
+        ))
+        .unwrap();
 
     // Q1: a block in the lower-left; Q2: a block in the upper-right.
     let q1 = Query::from_region(&grid, base, &[(0, 3), (0, 3)]);
@@ -136,10 +144,16 @@ fn example4_counts_via_manager() {
     let b10 = lattice.id_of(&[1, 0]).unwrap();
     let b00 = lattice.top();
 
-    let mut mgr = CacheManager::new(
-        Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default()),
-        ManagerConfig::new(Strategy::Vcm, PolicyKind::TwoLevel, usize::MAX >> 1),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcm)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(usize::MAX >> 1)
+        .build(Backend::new(
+            dataset.fact,
+            AggFn::Sum,
+            BackendCostModel::default(),
+        ))
+        .unwrap();
     // Reach the figure's cache state with queries: chunks 0,2,3 of (1,1),
     // chunk 0 of (0,1), chunk 0 of (0,0).
     mgr.execute(&Query::new(b11, vec![0, 2, 3])).unwrap();
@@ -169,10 +183,16 @@ fn example5_cost_based_path_choice() {
         .build();
     let grid = dataset.grid.clone();
     let lattice = grid.schema().lattice().clone();
-    let mut mgr = CacheManager::new(
-        Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default()),
-        ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1),
-    );
+    let mut mgr = CacheManager::builder()
+        .strategy(Strategy::Vcmc)
+        .policy(PolicyKind::TwoLevel)
+        .cache_bytes(usize::MAX >> 1)
+        .build(Backend::new(
+            dataset.fact,
+            AggFn::Sum,
+            BackendCostModel::default(),
+        ))
+        .unwrap();
     // Cache the full base (large chunks) and the full (0,1) level (small
     // chunks).
     mgr.execute(&Query::full_group_by(&grid, lattice.base()))
