@@ -1,7 +1,9 @@
 //! Runs every table and figure experiment in sequence, printing the full
 //! reproduction report (used to populate EXPERIMENTS.md).
 use aggcache_bench::args::Args;
-use aggcache_bench::experiments::{comparison, policy, table1, table2, table3, unit_a, unit_b};
+use aggcache_bench::experiments::{
+    comparison, faults, policy, table1, table2, table3, unit_a, unit_b,
+};
 
 fn main() {
     let a = Args::parse();
@@ -58,4 +60,16 @@ fn main() {
             ..Default::default()
         })
     );
+
+    // Beyond the paper: availability under backend faults. Scaled down —
+    // the sweep runs one stream per fault rate.
+    let fault_tuples = tuples.min(200_000);
+    let f = faults::run_experiment(faults::Opts {
+        tuples: fault_tuples,
+        seed,
+        queries,
+        cache_bytes: faults::Opts::scaled_cache_bytes(fault_tuples),
+        ..Default::default()
+    });
+    println!("{}", faults::render(&f));
 }

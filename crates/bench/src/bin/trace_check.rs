@@ -8,11 +8,15 @@
 use aggcache_bench::args::Args;
 use aggcache_obs::json::JsonValue;
 
-const KNOWN_KINDS: [&str; 12] = [
+const KNOWN_KINDS: [&str; 16] = [
     "probe_start",
     "chunk_lookup",
     "probe_end",
     "plan_chosen",
+    "fetch_retry",
+    "fetch_timeout",
+    "fetch_failed",
+    "degraded_serve",
     "backend_fetch",
     "cache_insert",
     "evict",
@@ -45,6 +49,10 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
             "predicted_tuples",
             "actual_tuples",
         ],
+        "fetch_retry" => &["gb", "chunks", "attempt", "backoff_virtual_ms", "error"],
+        "fetch_timeout" => &["gb", "chunks", "virtual_ms"],
+        "fetch_failed" => &["gb", "chunks", "attempts", "virtual_ms"],
+        "degraded_serve" => &["gb", "chunk", "leaves", "tuples"],
         "backend_fetch" => &[
             "gb",
             "chunks",

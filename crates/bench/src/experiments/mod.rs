@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod comparison;
+pub mod faults;
 pub mod policy;
 pub mod table1;
 pub mod table2;

@@ -56,6 +56,16 @@ pub enum CacheError {
     Schema(SchemaError),
     /// The manager configuration was invalid.
     Config(ConfigError),
+    /// The backend was unavailable (retries exhausted) **and** degraded
+    /// serving failed: the listed chunks could not be computed from cached
+    /// data either. The query has no answer; already-cached chunks stay
+    /// valid and the cache state is unchanged by the failed query's misses.
+    BackendUnavailable {
+        /// The group-by that could not be answered.
+        gb: aggcache_schema::GroupById,
+        /// The chunks that could neither be fetched nor computed.
+        chunks: Vec<u64>,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -64,6 +74,12 @@ impl fmt::Display for CacheError {
             Self::Store(e) => write!(f, "backend error: {e}"),
             Self::Schema(e) => write!(f, "schema error: {e}"),
             Self::Config(e) => write!(f, "config error: {e}"),
+            Self::BackendUnavailable { gb, chunks } => write!(
+                f,
+                "backend unavailable and {} chunk(s) of group-by {} not computable from cache",
+                chunks.len(),
+                gb.0
+            ),
         }
     }
 }
@@ -74,6 +90,7 @@ impl std::error::Error for CacheError {
             Self::Store(e) => Some(e),
             Self::Schema(e) => Some(e),
             Self::Config(e) => Some(e),
+            Self::BackendUnavailable { .. } => None,
         }
     }
 }

@@ -42,7 +42,7 @@ pub fn execute_plan(
 pub const PARALLEL_MIN_COST: u64 = 8_192;
 
 /// [`execute_plan`], parallelized across `threads` scoped threads via the
-/// two-phase exchange in [`aggregate_to_level_parallel`]: a partition pass
+/// two-phase exchange in [`aggregate_to_level_parallel_traced`]: a partition pass
 /// rolls up and encodes every leaf cell exactly once (split by contiguous
 /// input ranges), then each target-cell shard reduces its `(key, value)`
 /// runs in global input order and the disjoint partial [`Aggregator`]s are

@@ -24,8 +24,14 @@
 //! hits / computable / missing, aggregate in cache, batch-fetch misses from
 //! the backend, admit results under a replacement policy, and keep the
 //! count/cost tables consistent through insertions *and* evictions.
+//!
+//! The manager runs over any [`aggcache_store::BackendSource`]; when the
+//! source reports an outage ([`aggcache_store::StoreError::is_outage`]) the
+//! manager degrades gracefully — missing chunks are recomputed from cached
+//! data at any cost, or the query fails with a typed
+//! [`CacheError::BackendUnavailable`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cost;
 mod counts;

@@ -1,12 +1,12 @@
 use crate::error::{CacheError, ConfigError};
 use crate::executor::execute_plan_parallel_traced;
-use crate::lookup::{lookup, ComputationPlan, LookupStats, Strategy};
+use crate::lookup::{esm, lookup, ComputationPlan, LookupStats, Strategy};
 use crate::{CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
 use aggcache_cache::{ChunkCache, Origin, PolicyKind};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
 use aggcache_obs::{Event, LookupOutcome, Tracer};
 use aggcache_schema::{GroupById, Level, SchemaError};
-use aggcache_store::Backend;
+use aggcache_store::{BackendSource, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -76,20 +76,6 @@ impl ManagerConfig {
             table_kind: crate::TableKind::Dense,
             optimizer: false,
         }
-    }
-
-    /// A config with the given strategy/policy/budget and the default
-    /// aggregation rate.
-    #[deprecated(note = "use CacheManager::builder() / CacheManagerBuilder")]
-    pub fn new(strategy: Strategy, policy: PolicyKind, cache_bytes: usize) -> Self {
-        Self::defaults(strategy, policy, cache_bytes)
-    }
-
-    /// The same config with `threads` worker threads for batched execution.
-    #[deprecated(note = "use CacheManagerBuilder::threads")]
-    pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
-        self
     }
 
     /// Checks the invariants [`CacheManagerBuilder`] enforces: a positive
@@ -247,8 +233,17 @@ impl CacheManagerBuilder {
         Ok(config)
     }
 
-    /// Validates the configuration and builds the manager over `backend`.
-    pub fn build(self, backend: Backend) -> Result<CacheManager, ConfigError> {
+    /// Validates the configuration and builds the manager over `backend` —
+    /// the simulated [`aggcache_store::Backend`] or any other
+    /// [`BackendSource`] (e.g. a fault-injecting / retrying decorator
+    /// stack).
+    pub fn build(self, backend: impl BackendSource + 'static) -> Result<CacheManager, ConfigError> {
+        self.build_boxed(Box::new(backend))
+    }
+
+    /// Like [`CacheManagerBuilder::build`], for a source already boxed as a
+    /// trait object — useful when the decorator stack is chosen at runtime.
+    pub fn build_boxed(self, backend: Box<dyn BackendSource>) -> Result<CacheManager, ConfigError> {
         let config = self.config()?;
         let mut manager = CacheManager::from_parts(backend, config);
         if self.tracer.is_some() {
@@ -326,7 +321,7 @@ impl Tables {
 /// every probe, plan, fetch, admission, eviction and table delta; tracing
 /// never changes results or virtual-time metrics.
 pub struct CacheManager {
-    backend: Backend,
+    backend: Box<dyn BackendSource>,
     grid: Arc<ChunkGrid>,
     cache: ChunkCache,
     tables: Tables,
@@ -406,13 +401,7 @@ impl CacheManager {
         CacheManagerBuilder::new()
     }
 
-    /// Creates a manager over `backend` with the given configuration.
-    #[deprecated(note = "use CacheManager::builder() / CacheManagerBuilder")]
-    pub fn new(backend: Backend, config: ManagerConfig) -> Self {
-        Self::from_parts(backend, config)
-    }
-
-    fn from_parts(backend: Backend, config: ManagerConfig) -> Self {
+    fn from_parts(backend: Box<dyn BackendSource>, config: ManagerConfig) -> Self {
         let grid = backend.grid().clone();
         let tables = match config.strategy {
             Strategy::Vcm => Tables::Counts(CountTable::with_kind(grid.clone(), config.table_kind)),
@@ -445,9 +434,9 @@ impl CacheManager {
         &self.grid
     }
 
-    /// The backend.
-    pub fn backend(&self) -> &Backend {
-        &self.backend
+    /// The backend source (the simulated backend or a decorator stack).
+    pub fn backend(&self) -> &dyn BackendSource {
+        self.backend.as_ref()
     }
 
     /// The cache (read access).
@@ -907,16 +896,40 @@ impl CacheManager {
         // Phase 3: one batched backend query for everything missing.
         if !missing.is_empty() {
             metrics.chunks_missed = missing.len();
-            let fetch = self.backend.fetch(query.gb, &missing)?;
-            metrics.backend_virtual_ms += fetch.virtual_ms;
-            metrics.backend_tuples += fetch.tuples_scanned;
-            let per_chunk_benefit = fetch.virtual_ms / missing.len() as f64;
-            for (chunk, data) in fetch.chunks {
-                result.append(&data);
-                let key = ChunkKey::new(query.gb, chunk);
-                let (_, update_ns) =
-                    self.admit_chunk(key, data, Origin::Backend, per_chunk_benefit);
-                metrics.update_ns += update_ns;
+            match self.backend.fetch(query.gb, &missing) {
+                Ok(fetch) => {
+                    metrics.backend_virtual_ms += fetch.virtual_ms;
+                    metrics.backend_tuples += fetch.tuples_scanned;
+                    let per_chunk_benefit = fetch.virtual_ms / missing.len() as f64;
+                    for (chunk, data) in fetch.chunks {
+                        result.append(&data);
+                        let key = ChunkKey::new(query.gb, chunk);
+                        let (_, update_ns) =
+                            self.admit_chunk(key, data, Origin::Backend, per_chunk_benefit);
+                        metrics.update_ns += update_ns;
+                    }
+                }
+                // Graceful degradation: the backend is down (retries, if
+                // any, already exhausted). The outage's virtual time is
+                // charged, then each missing chunk is re-probed for an
+                // aggregation path at any cost.
+                Err(err) if err.is_outage() => {
+                    metrics.backend_virtual_ms += err.virtual_ms();
+                    if let Some(tracer) = &self.tracer {
+                        let attempts = match &err {
+                            StoreError::Unavailable { attempts, .. } => *attempts,
+                            _ => 1,
+                        };
+                        tracer.emit(&Event::FetchFailed {
+                            gb: query.gb.0,
+                            chunks: missing.len() as u64,
+                            attempts,
+                            virtual_ms: err.virtual_ms(),
+                        });
+                    }
+                    self.serve_degraded(query, &missing, &mut result, &mut metrics)?;
+                }
+                Err(err) => return Err(err.into()),
             }
         }
 
@@ -928,6 +941,96 @@ impl CacheManager {
             data: result,
             metrics,
         })
+    }
+
+    /// The backend-outage fallback: serves each missing chunk *degraded*
+    /// by computing it from cached data at any cost — an exhaustive ESM
+    /// search, ignoring the configured strategy's budget and the §5.2
+    /// arbitration, because the backend alternative no longer exists.
+    ///
+    /// All-or-nothing: every chunk is planned before anything mutates, so
+    /// a query that cannot be fully served fails with
+    /// [`CacheError::BackendUnavailable`] leaving the cache untouched.
+    /// Served chunks are admitted like any computed chunk and reported via
+    /// [`Event::DegradedServe`].
+    fn serve_degraded(
+        &mut self,
+        query: &Query,
+        missing: &[u64],
+        result: &mut ChunkData,
+        metrics: &mut QueryMetrics,
+    ) -> Result<(), CacheError> {
+        let mut plans = Vec::with_capacity(missing.len());
+        let mut unservable = Vec::new();
+        for &chunk in missing {
+            let key = ChunkKey::new(query.gb, chunk);
+            let mut stats = LookupStats::default();
+            match esm(&self.cache, &self.grid, key, &mut stats) {
+                Some(plan) => plans.push(plan),
+                None => unservable.push(chunk),
+            }
+            metrics.lookup_nodes += stats.nodes_visited;
+        }
+        if !unservable.is_empty() {
+            return Err(CacheError::BackendUnavailable {
+                gb: query.gb,
+                chunks: unservable,
+            });
+        }
+        for plan in &plans {
+            for leaf in &plan.leaves {
+                self.cache.pin(*leaf);
+            }
+        }
+        for plan in &plans {
+            metrics.chunks_degraded += 1;
+            let t_agg = Instant::now();
+            let (data, tuples) = execute_plan_parallel_traced(
+                &self.grid,
+                &self.cache,
+                self.backend.agg(),
+                plan,
+                self.config.threads,
+                self.tracer.as_deref(),
+            );
+            metrics.agg_ns += t_agg.elapsed().as_nanos() as u64;
+            metrics.tuples_aggregated += tuples;
+            let benefit_ms = tuples as f64 * self.config.cache_per_tuple_us / 1000.0;
+            metrics.agg_virtual_ms += benefit_ms;
+            result.append(&data);
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::DegradedServe {
+                    gb: plan.target.gb.0,
+                    chunk: plan.target.chunk,
+                    leaves: plan.leaves.len() as u64,
+                    tuples,
+                });
+            }
+            if self.config.group_boost {
+                self.cache.boost_group(plan.leaves.iter(), benefit_ms);
+            }
+            for leaf in &plan.leaves {
+                let _ = self.cache.get(leaf);
+            }
+            let benefit = match self.config.policy {
+                PolicyKind::TwoLevel => benefit_ms,
+                _ => {
+                    let (per_query, marginal) = self
+                        .backend
+                        .estimate_fetch_ms(query.gb, &[plan.target.chunk])
+                        .unwrap_or((0.0, benefit_ms));
+                    per_query + marginal
+                }
+            };
+            let (_, update_ns) = self.admit_chunk(plan.target, data, Origin::Computed, benefit);
+            metrics.update_ns += update_ns;
+        }
+        for plan in &plans {
+            for leaf in &plan.leaves {
+                self.cache.unpin(leaf);
+            }
+        }
+        Ok(())
     }
 
     /// Executes a query through the active cache: one probe, one apply.
@@ -1045,7 +1148,10 @@ mod tests {
     use super::*;
     use aggcache_obs::RecordingTracer;
     use aggcache_schema::{Dimension, Schema};
-    use aggcache_store::{AggFn, BackendCostModel, FactTable};
+    use aggcache_store::{
+        AggFn, Backend, BackendCostModel, FactTable, FaultInjectingBackend, FaultProfile,
+        RetryPolicy, RetryingBackend,
+    };
 
     fn make_backend() -> Backend {
         let schema = Arc::new(
@@ -1530,27 +1636,108 @@ mod tests {
             .is_ok());
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_work() {
-        let config = ManagerConfig::new(Strategy::Vcmc, PolicyKind::TwoLevel, usize::MAX >> 1)
-            .with_threads(2);
-        let mut old = CacheManager::new(make_backend(), config);
-        let mut new = CacheManagerBuilder::from_config(config)
-            .build(make_backend())
-            .unwrap();
-        let grid = old.grid().clone();
-        let lattice = grid.schema().lattice().clone();
-        for gb in lattice.iter_ids() {
-            let q = Query::full_group_by(&grid, gb);
-            let a = old.execute(&q).unwrap();
-            let b = new.execute(&q).unwrap();
-            assert_eq!(a.data, b.data);
-            assert_eq!(
-                a.metrics.total_ms().to_bits(),
-                b.metrics.total_ms().to_bits()
-            );
+    /// A manager over a permanently-down backend (every fetch fails, with
+    /// `attempts` retry attempts before giving up).
+    fn down_manager(strategy: Strategy, attempts: u32) -> CacheManager {
+        CacheManager::builder()
+            .strategy(strategy)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(
+                RetryingBackend::new(
+                    FaultInjectingBackend::new(
+                        make_backend(),
+                        FaultProfile::fail_then_recover(u64::MAX),
+                    )
+                    .unwrap(),
+                    RetryPolicy {
+                        max_attempts: attempts,
+                        ..RetryPolicy::default()
+                    },
+                )
+                .unwrap(),
+            )
+            .unwrap()
+    }
+
+    /// Seeds the whole base level straight into the cache (bypassing the
+    /// down backend).
+    fn seed_base(mgr: &mut CacheManager) {
+        let base = mgr.grid().schema().lattice().base();
+        for (chunk, data) in make_backend().fetch_group_by(base).unwrap().chunks {
+            mgr.insert_chunk(ChunkKey::new(base, chunk), data, Origin::Backend, 1.0);
         }
+    }
+
+    #[test]
+    fn degraded_serve_answers_from_cache_when_backend_is_down() {
+        // NoAggregation treats every rollup as a miss, so the top query
+        // must go to the (down) backend — and is then served degraded by
+        // the at-any-cost fallback from the seeded base.
+        let mut mgr = down_manager(Strategy::NoAggregation, 2);
+        seed_base(&mut mgr);
+        let grid = mgr.grid().clone();
+        let top = grid.schema().lattice().top();
+        // Oracle from a healthy twin backend (the manager's own is down).
+        let mut expected = ChunkData::new(grid.num_dims());
+        for (_, data) in make_backend().fetch_group_by(top).unwrap().chunks {
+            expected.append(&data);
+        }
+        expected.sort_by_coords();
+        let mut r = mgr.execute(&Query::full_group_by(&grid, top)).unwrap();
+        r.data.sort_by_coords();
+        assert_eq!(r.data, expected, "degraded answer is still correct");
+        assert_eq!(r.metrics.chunks_degraded, 1);
+        assert_eq!(r.metrics.chunks_missed, 1);
+        assert!(!r.metrics.complete_hit, "degraded serve is not a hit");
+        assert!(
+            r.metrics.backend_virtual_ms > 0.0,
+            "the failed attempts' virtual time is charged"
+        );
+        assert_eq!(mgr.session().chunks_degraded, 1);
+        assert_eq!(mgr.session().degraded_queries, 1);
+        // The degraded chunk was admitted: the next query is a direct hit
+        // and no longer touches the backend.
+        let m2 = mgr
+            .execute(&Query::full_group_by(&grid, top))
+            .unwrap()
+            .metrics;
+        assert!(m2.complete_hit);
+        assert_eq!(m2.chunks_hit, 1);
+    }
+
+    #[test]
+    fn cold_cache_outage_returns_backend_unavailable() {
+        let mut mgr = down_manager(Strategy::Vcmc, 3);
+        let base = mgr.grid().schema().lattice().base();
+        match mgr.execute(&Query::new(base, vec![0, 1])).unwrap_err() {
+            CacheError::BackendUnavailable { gb, chunks } => {
+                assert_eq!(gb, base);
+                assert_eq!(chunks, vec![0, 1]);
+            }
+            other => panic!("expected BackendUnavailable, got {other:?}"),
+        }
+        // Nothing was admitted by the failed query.
+        assert_eq!(mgr.cache().keys().count(), 0);
+    }
+
+    #[test]
+    fn degradation_emits_fetch_failed_and_degraded_serve_events() {
+        let tracer = Arc::new(RecordingTracer::new());
+        let mut mgr = down_manager(Strategy::NoAggregation, 2);
+        mgr.set_tracer(Some(tracer.clone()));
+        seed_base(&mut mgr);
+        let grid = mgr.grid().clone();
+        let top = grid.schema().lattice().top();
+        mgr.execute(&Query::full_group_by(&grid, top)).unwrap();
+        let events = tracer.take();
+        let kinds: Vec<&'static str> = events.iter().map(|e| e.kind()).collect();
+        for expected in ["fetch_retry", "fetch_failed", "degraded_serve"] {
+            assert!(kinds.contains(&expected), "missing {expected}: {kinds:?}");
+        }
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::FetchFailed { attempts: 2, .. })));
     }
 
     #[test]

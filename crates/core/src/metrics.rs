@@ -45,12 +45,18 @@ pub struct QueryMetrics {
     pub chunks_hit: usize,
     /// Chunks computed by aggregating cached chunks.
     pub chunks_computed: usize,
-    /// Chunks fetched from the backend.
+    /// Chunks requested from the backend (cache misses under the
+    /// configured lookup strategy).
     pub chunks_missed: usize,
     /// Computable chunks the cost-based optimizer demoted to backend
     /// fetches because the backend was cheaper (counted within
     /// `chunks_missed` as well).
     pub chunks_demoted: usize,
+    /// Missed chunks served *degraded* after a backend outage: computed
+    /// from cached data at any cost instead of fetched (counted within
+    /// `chunks_missed` as well, never as `chunks_computed` or as a
+    /// complete hit).
+    pub chunks_degraded: usize,
     /// Tuples aggregated in the cache.
     pub tuples_aggregated: u64,
     /// Base tuples scanned by the backend.
@@ -105,6 +111,10 @@ pub struct SessionMetrics {
     pub tuples_aggregated: u64,
     /// Sum of base tuples scanned at the backend.
     pub backend_tuples: u64,
+    /// Sum of chunks served degraded after backend outages.
+    pub chunks_degraded: u64,
+    /// Number of queries that served at least one degraded chunk.
+    pub degraded_queries: u64,
 }
 
 impl SessionMetrics {
@@ -124,6 +134,8 @@ impl SessionMetrics {
         self.update_virtual_ms += q.update_virtual_ms;
         self.tuples_aggregated += q.tuples_aggregated;
         self.backend_tuples += q.backend_tuples;
+        self.chunks_degraded += q.chunks_degraded as u64;
+        self.degraded_queries += u64::from(q.chunks_degraded > 0);
     }
 
     /// Fraction of queries that were complete hits (paper Fig. 7).

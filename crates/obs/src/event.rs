@@ -123,6 +123,55 @@ pub enum Event {
         /// Tuples actually aggregated.
         actual_tuples: u64,
     },
+    /// A retrying backend decorator scheduled a re-attempt after a
+    /// transient fetch failure, charging the backoff delay to virtual time.
+    FetchRetry {
+        /// Group-by id of the failed fetch.
+        gb: u32,
+        /// Chunks the fetch requested.
+        chunks: u64,
+        /// 1-based attempt number that just failed.
+        attempt: u32,
+        /// Virtual milliseconds of backoff charged before the next attempt.
+        backoff_virtual_ms: f64,
+        /// Stable name of the error class that triggered the retry
+        /// (`"transient"` or `"timeout"`).
+        error: &'static str,
+    },
+    /// A backend fetch attempt exceeded its per-fetch timeout budget.
+    FetchTimeout {
+        /// Group-by id of the timed-out fetch.
+        gb: u32,
+        /// Chunks the fetch requested.
+        chunks: u64,
+        /// Virtual milliseconds charged for the timed-out attempt.
+        virtual_ms: f64,
+    },
+    /// A backend fetch failed permanently (retries exhausted, or no retry
+    /// decorator installed): the serving layer must degrade or error.
+    FetchFailed {
+        /// Group-by id of the failed fetch.
+        gb: u32,
+        /// Chunks the fetch requested.
+        chunks: u64,
+        /// Attempts made before giving up (1 when nothing retried).
+        attempts: u32,
+        /// Total virtual milliseconds wasted on the failed attempts,
+        /// including backoff delays.
+        virtual_ms: f64,
+    },
+    /// A chunk whose backend fetch failed was answered from the cache by
+    /// an aggregation path instead (graceful degradation, VCM fallback).
+    DegradedServe {
+        /// Group-by id of the served chunk.
+        gb: u32,
+        /// Chunk number served.
+        chunk: u64,
+        /// Cached leaf chunks aggregated to produce the answer.
+        leaves: u64,
+        /// Tuples aggregated.
+        tuples: u64,
+    },
     /// The backend executed one batched fetch.
     BackendFetch {
         /// Group-by id fetched.
@@ -261,6 +310,10 @@ impl Event {
             Event::ChunkLookup { .. } => "chunk_lookup",
             Event::ProbeEnd { .. } => "probe_end",
             Event::PlanChosen { .. } => "plan_chosen",
+            Event::FetchRetry { .. } => "fetch_retry",
+            Event::FetchTimeout { .. } => "fetch_timeout",
+            Event::FetchFailed { .. } => "fetch_failed",
+            Event::DegradedServe { .. } => "degraded_serve",
             Event::BackendFetch { .. } => "backend_fetch",
             Event::CacheInsert { .. } => "cache_insert",
             Event::Evict { .. } => "evict",
@@ -355,6 +408,54 @@ impl Event {
                 out.push(']');
                 field_u(out, "predicted_tuples", *predicted_tuples);
                 field_u(out, "actual_tuples", *actual_tuples);
+            }
+            Event::FetchRetry {
+                gb,
+                chunks,
+                attempt,
+                backoff_virtual_ms,
+                error,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunks", *chunks);
+                field_u(out, "attempt", u64::from(*attempt));
+                out.push_str(",\"backoff_virtual_ms\":");
+                push_f64(out, *backoff_virtual_ms);
+                out.push_str(",\"error\":");
+                push_str(out, error);
+            }
+            Event::FetchTimeout {
+                gb,
+                chunks,
+                virtual_ms,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunks", *chunks);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::FetchFailed {
+                gb,
+                chunks,
+                attempts,
+                virtual_ms,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunks", *chunks);
+                field_u(out, "attempts", u64::from(*attempts));
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::DegradedServe {
+                gb,
+                chunk,
+                leaves,
+                tuples,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "leaves", *leaves);
+                field_u(out, "tuples", *tuples);
             }
             Event::BackendFetch {
                 gb,

@@ -37,7 +37,7 @@
 //! assert_eq!(registry.counter("group_boosts"), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod event;
 mod histogram;

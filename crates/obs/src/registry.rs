@@ -253,6 +253,29 @@ impl Tracer for MetricsRegistry {
                 inner.bump("backend_fetches", 1);
                 inner.virt("backend_fetch", virtual_ms * 1000.0);
             }
+            Event::FetchRetry {
+                backoff_virtual_ms, ..
+            } => {
+                inner.bump("fetch_retries", 1);
+                inner.virt("fetch_backoff", backoff_virtual_ms * 1000.0);
+            }
+            Event::FetchTimeout { virtual_ms, .. } => {
+                inner.bump("fetch_timeouts", 1);
+                inner.virt("fetch_timeout", virtual_ms * 1000.0);
+            }
+            Event::FetchFailed {
+                attempts,
+                virtual_ms,
+                ..
+            } => {
+                inner.bump("fetch_failures", 1);
+                inner.bump("fetch_failure_attempts", u64::from(*attempts));
+                inner.virt("fetch_failed", virtual_ms * 1000.0);
+            }
+            Event::DegradedServe { tuples, .. } => {
+                inner.bump("degraded_serves", 1);
+                inner.bump("degraded_tuples", *tuples);
+            }
             Event::CacheInsert { admitted, .. } => {
                 inner.bump(
                     if *admitted {

@@ -5,8 +5,14 @@ use aggcache_schema::GroupById;
 use std::fmt;
 use std::sync::Arc;
 
-/// Errors returned by the backend.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors returned by a backend source.
+///
+/// [`StoreError::NotComputable`] is *permanent*: retrying can never help.
+/// The other variants model the failure regimes of a real remote database
+/// — transient errors, timeouts, and exhausted retries — and each carries
+/// the virtual milliseconds wasted on the failed communication so callers
+/// can charge the outage to virtual time.
+#[derive(Debug, Clone, PartialEq)]
 pub enum StoreError {
     /// The requested group-by is more detailed than the fact data along
     /// some dimension — no backend query can answer it.
@@ -16,6 +22,66 @@ pub enum StoreError {
         /// The group-by the fact data lives at.
         fact: GroupById,
     },
+    /// The fetch failed with a transient error (dropped connection, busy
+    /// server); an immediate or backed-off retry may succeed.
+    Transient {
+        /// Monotonic fetch sequence number at the failing source, for
+        /// correlating deterministic fault injections.
+        fetch_seq: u64,
+        /// Virtual milliseconds wasted on the failed round trip.
+        virtual_ms: f64,
+    },
+    /// The fetch exceeded its per-attempt timeout budget.
+    Timeout {
+        /// Virtual milliseconds charged for the timed-out attempt (the
+        /// full timeout budget — the caller waited that long).
+        virtual_ms: f64,
+    },
+    /// Every retry attempt failed; the backend is considered down for
+    /// this fetch.
+    Unavailable {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Total virtual milliseconds wasted across all attempts,
+        /// including backoff delays.
+        virtual_ms: f64,
+    },
+}
+
+impl StoreError {
+    /// Whether a retry may succeed (`Transient` or `Timeout`).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Transient { .. } | Self::Timeout { .. })
+    }
+
+    /// Whether the error is an availability failure rather than a
+    /// permanent semantic one — the class a serving layer may degrade on
+    /// (`Transient`, `Timeout` or `Unavailable`).
+    pub fn is_outage(&self) -> bool {
+        !matches!(self, Self::NotComputable { .. })
+    }
+
+    /// Virtual milliseconds wasted on the failure (0 for the permanent
+    /// [`StoreError::NotComputable`], which costs nothing: the middle tier
+    /// rejects it without a backend round trip).
+    pub fn virtual_ms(&self) -> f64 {
+        match self {
+            Self::NotComputable { .. } => 0.0,
+            Self::Transient { virtual_ms, .. }
+            | Self::Timeout { virtual_ms }
+            | Self::Unavailable { virtual_ms, .. } => *virtual_ms,
+        }
+    }
+
+    /// Stable lowercase class name, used in trace events.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            Self::NotComputable { .. } => "not_computable",
+            Self::Transient { .. } => "transient",
+            Self::Timeout { .. } => "timeout",
+            Self::Unavailable { .. } => "unavailable",
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -24,6 +90,23 @@ impl fmt::Display for StoreError {
             Self::NotComputable { requested, fact } => write!(
                 f,
                 "group-by {requested:?} is not computable from fact data at {fact:?}"
+            ),
+            Self::Transient {
+                fetch_seq,
+                virtual_ms,
+            } => write!(
+                f,
+                "transient backend error on fetch #{fetch_seq} ({virtual_ms} virtual ms wasted)"
+            ),
+            Self::Timeout { virtual_ms } => {
+                write!(f, "backend fetch timed out after {virtual_ms} virtual ms")
+            }
+            Self::Unavailable {
+                attempts,
+                virtual_ms,
+            } => write!(
+                f,
+                "backend unavailable: {attempts} attempts failed ({virtual_ms} virtual ms wasted)"
             ),
         }
     }

@@ -8,12 +8,21 @@
 //! through a configurable [`BackendCostModel`], preserving the paper's
 //! observed ≈8× gap between backend fetches and in-cache aggregation while
 //! keeping experiments deterministic and fast.
+//!
+//! Backends are pluggable behind the [`BackendSource`] trait: the simulated
+//! [`Backend`] is one implementation, and the [`FaultInjectingBackend`] and
+//! [`RetryingBackend`] decorators compose around any source to model — and
+//! survive — transient errors, timeouts and latency spikes, all charged to
+//! the same deterministic virtual clock.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod aggregate;
 mod backend;
 mod fact;
+mod fault;
+mod retry;
+mod source;
 
 pub use aggregate::{
     aggregate_to_level, aggregate_to_level_parallel, aggregate_to_level_parallel_traced, AggFn,
@@ -21,3 +30,6 @@ pub use aggregate::{
 };
 pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
 pub use fact::FactTable;
+pub use fault::{FaultInjectingBackend, FaultProfile, FaultProfileError};
+pub use retry::{RetryPolicy, RetryPolicyError, RetryingBackend};
+pub use source::BackendSource;

@@ -79,6 +79,9 @@ pub mod prelude {
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
     pub use aggcache_obs::{Event, MetricsRegistry, RecordingTracer, Tracer};
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
-    pub use aggcache_store::{AggFn, Backend, BackendCostModel, FactTable, Lift};
+    pub use aggcache_store::{
+        AggFn, Backend, BackendCostModel, BackendSource, FactTable, FaultInjectingBackend,
+        FaultProfile, Lift, RetryPolicy, RetryingBackend,
+    };
     pub use aggcache_workload::{QueryKind, QueryMix, QueryStream, WorkloadConfig};
 }

@@ -1,0 +1,104 @@
+//! Property-based tests of [`RetryPolicy`] backoff schedules: for every
+//! valid policy the schedule is monotone non-decreasing, bounded by the
+//! virtual-time budget, never longer than the retry count, and exactly
+//! reproducible from the seed.
+
+use aggcache::prelude::*;
+use proptest::prelude::*;
+// Our `Strategy` enum (from the prelude glob) shadows proptest's trait of
+// the same name; re-import the trait under an alias.
+use proptest::strategy::Strategy as PropStrategy;
+
+/// Strategy: an arbitrary *valid* retry policy over wide field ranges.
+fn arb_policy() -> impl PropStrategy<Value = RetryPolicy> {
+    (
+        (1u32..=50, 0.1f64..1_000.0, 1.0f64..4.0),
+        (
+            1.0f64..10_000.0,
+            0.0f64..0.99,
+            1.0f64..100_000.0,
+            0u64..u64::MAX,
+        ),
+    )
+        .prop_map(
+            |((max_attempts, base, mult), (max_backoff, jitter, budget, seed))| RetryPolicy {
+                max_attempts,
+                base_backoff_ms: base,
+                backoff_multiplier: mult,
+                // Keep the cap at or above the base so the policy is valid.
+                max_backoff_ms: base.max(max_backoff),
+                jitter,
+                budget_ms: budget,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn schedule_is_monotone_non_decreasing(policy in arb_policy()) {
+        prop_assert!(policy.validate().is_ok());
+        let schedule = policy.backoff_schedule();
+        prop_assert!(
+            schedule.windows(2).all(|w| w[0] <= w[1]),
+            "schedule not monotone: {schedule:?}"
+        );
+        prop_assert!(
+            schedule.iter().all(|b| b.is_finite() && *b > 0.0),
+            "backoffs must be positive and finite: {schedule:?}"
+        );
+    }
+
+    #[test]
+    fn schedule_is_bounded_by_budget(policy in arb_policy()) {
+        let schedule = policy.backoff_schedule();
+        let total: f64 = schedule.iter().sum();
+        prop_assert!(
+            total <= policy.budget_ms,
+            "schedule sum {total} exceeds budget {}",
+            policy.budget_ms
+        );
+        prop_assert!(
+            (schedule.len() as u32) < policy.max_attempts,
+            "{} backoffs for {} attempts",
+            schedule.len(),
+            policy.max_attempts
+        );
+    }
+
+    #[test]
+    fn schedule_is_reproducible_per_seed(policy in arb_policy()) {
+        // Bit-exact across calls: the jitter stream is a pure function of
+        // (seed, attempt index).
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // And agrees step-by-step with the per-attempt accessor.
+        for (i, backoff) in a.iter().enumerate() {
+            let attempt = i as u32 + 1;
+            prop_assert_eq!(
+                policy.backoff_ms(attempt).map(f64::to_bits),
+                Some(backoff.to_bits()),
+                "backoff_ms({}) disagrees with the schedule", attempt
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_widens_but_never_reorders(policy in arb_policy()) {
+        // The jitter-free twin is a lower bound on every step: jitter only
+        // ever lengthens a backoff (u >= 0), it never shortens one.
+        let dry = RetryPolicy { jitter: 0.0, ..policy };
+        let jittered = policy.backoff_schedule();
+        let flat = dry.backoff_schedule();
+        for (i, (j, f)) in jittered.iter().zip(&flat).enumerate() {
+            prop_assert!(
+                j >= f,
+                "jittered step {i} ({j}) below jitter-free step ({f})"
+            );
+        }
+    }
+}
