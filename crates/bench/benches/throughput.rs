@@ -10,14 +10,59 @@
 //! the two-level policy refuses the computed chunks' admissions, so the
 //! cache state — and therefore the measured work — is identical on every
 //! iteration.
+//!
+//! Flags (the vendored criterion shim does no CLI parsing, so these are
+//! hand-parsed from `std::env::args()`):
+//!
+//! - `--profile-json [PATH]` — after the timed runs, re-run each thread
+//!   count with session metrics enabled and emit a JSON breakdown
+//!   (probe/agg/update/lookup ns per iteration) to `PATH`, or stdout when
+//!   no path follows the flag.
+//! - `--smoke` — one measured sample and a single profile iteration per
+//!   thread count; used by CI to exercise the whole pipeline (and the
+//!   profile flag) without paying for a full measurement.
 
 use aggcache_bench::rig::{apb_dataset, backend_for, MB};
 use aggcache_cache::PolicyKind;
 use aggcache_core::{CacheManager, Query, Strategy, PARALLEL_MIN_COST};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 const BATCH: usize = 16;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Hand-parsed CLI options (see the module docs).
+struct Opts {
+    /// `Some(None)` = emit to stdout, `Some(Some(path))` = write to file.
+    profile_json: Option<Option<String>>,
+    smoke: bool,
+}
+
+impl Opts {
+    fn parse() -> Self {
+        let mut opts = Opts {
+            profile_json: None,
+            smoke: false,
+        };
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--profile-json" => {
+                    let path = match args.peek() {
+                        Some(next) if !next.starts_with('-') => args.next(),
+                        _ => None,
+                    };
+                    opts.profile_json = Some(path);
+                }
+                "--smoke" => opts.smoke = true,
+                // Ignore anything else (cargo may forward harness flags).
+                _ => {}
+            }
+        }
+        opts
+    }
+}
 
 /// The accounting bytes the two-level preload actually loads under a
 /// generous budget — used to size the real managers so the preload fills
@@ -86,15 +131,68 @@ fn computable_hit_queries(dataset: &aggcache_gen::Dataset, cache_bytes: usize) -
     queries
 }
 
+/// Re-runs each thread count outside the timing harness and collects the
+/// per-iteration wall-clock and session-metric breakdown as hand-rolled
+/// JSON (no serde in the workspace).
+fn profile_report(
+    dataset: &aggcache_gen::Dataset,
+    cache_bytes: usize,
+    queries: &[Query],
+    iters: u64,
+) -> String {
+    let mut rows = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let mut mgr = manager_with_threads(dataset, cache_bytes, threads);
+        // Warm-up settles admissions so every profiled iteration sees the
+        // same cache version (mirrors the timed benchmark).
+        mgr.execute_batch(queries).expect("batch in cache");
+        mgr.reset_session();
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(mgr.execute_batch(queries).expect("batch in cache"));
+        }
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let s = mgr.session();
+        let per_iter = |total: u64| total / iters;
+        rows.push(format!(
+            concat!(
+                "    {{\"threads\": {}, \"ms_per_iter\": {:.3}, ",
+                "\"probe_ns\": {}, \"apply_ns\": {}, \"agg_ns\": {}, ",
+                "\"update_ns\": {}, \"lookup_ns\": {}, ",
+                "\"tuples_aggregated\": {}, \"complete_hits\": {}, ",
+                "\"queries\": {}}}"
+            ),
+            threads,
+            wall_ns as f64 / iters as f64 / 1e6,
+            per_iter(s.probe_ns),
+            per_iter(s.apply_ns),
+            per_iter(s.agg_ns),
+            per_iter(s.update_ns),
+            per_iter(s.lookup_ns),
+            s.tuples_aggregated / iters,
+            s.complete_hits / iters,
+            s.queries / iters,
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"execute_batch\",\n  \"batch\": {},\n  \
+         \"iterations\": {},\n  \"per_thread\": [\n{}\n  ]\n}}\n",
+        BATCH,
+        iters,
+        rows.join(",\n")
+    )
+}
+
 fn bench_throughput(c: &mut Criterion) {
+    let opts = Opts::parse();
     let dataset = apb_dataset(220_000, 7);
     let cache_bytes = preload_bytes(&dataset);
     let queries = computable_hit_queries(&dataset, cache_bytes);
 
     let mut group = c.benchmark_group("execute_batch");
-    group.sample_size(10);
+    group.sample_size(if opts.smoke { 1 } else { 10 });
     group.throughput(Throughput::Elements(queries.len() as u64));
-    for threads in [1usize, 2, 4, 8] {
+    for threads in THREAD_COUNTS {
         let mut mgr = manager_with_threads(&dataset, cache_bytes, threads);
         // Warm-up: lets any admissions settle so the measured iterations
         // all see the same cache version.
@@ -107,6 +205,18 @@ fn bench_throughput(c: &mut Criterion) {
         });
     }
     group.finish();
+
+    if let Some(dest) = &opts.profile_json {
+        let iters = if opts.smoke { 1 } else { 5 };
+        let report = profile_report(&dataset, cache_bytes, &queries, iters);
+        match dest {
+            Some(path) => {
+                std::fs::write(path, &report).expect("write profile JSON");
+                println!("profile written to {path}");
+            }
+            None => print!("{report}"),
+        }
+    }
 }
 
 criterion_group!(benches, bench_throughput);

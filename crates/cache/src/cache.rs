@@ -1,7 +1,7 @@
 use crate::clock::{ClockRing, MAX_CLOCK};
+use aggcache_chunks::hash::{PackedChunkKey, PackedMap, PackedSet};
 use aggcache_chunks::{ChunkData, ChunkKey};
 use aggcache_obs::{Event, Tier, Tracer};
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Where a cached chunk came from — the paper's two benefit classes (§6.1).
@@ -72,10 +72,14 @@ enum Rings {
 pub struct ChunkCache {
     budget: usize,
     used: usize,
-    map: HashMap<ChunkKey, CachedChunk>,
+    /// Resident chunks, keyed by packed chunk key ([`ChunkKey::pack`]) so
+    /// the hot probe path hashes one `u64` through the FxHash-style hasher.
+    map: PackedMap<CachedChunk>,
     rings: Rings,
-    pinned: HashSet<ChunkKey>,
-    /// Running mean benefit, used to normalize clock seeds.
+    pinned: PackedSet,
+    /// Mean benefit of the *resident* chunks, used to normalize clock
+    /// seeds. Contributions are added on admission and subtracted on
+    /// removal, so evicted and replaced entries do not pollute the mean.
     benefit_sum: f64,
     benefit_count: u64,
     hits: u64,
@@ -106,9 +110,9 @@ impl ChunkCache {
         Self {
             budget: budget_bytes,
             used: 0,
-            map: HashMap::new(),
+            map: PackedMap::default(),
             rings,
-            pinned: HashSet::new(),
+            pinned: PackedSet::default(),
             benefit_sum: 0.0,
             benefit_count: 0,
             hits: 0,
@@ -171,20 +175,21 @@ impl ChunkCache {
 
     /// Looks up a chunk, refreshing its clock on a hit.
     pub fn get(&mut self, key: &ChunkKey) -> Option<&CachedChunk> {
-        if let Some(entry) = self.map.get(key) {
+        let packed = key.pack();
+        if let Some(entry) = self.map.get(&packed) {
             self.hits += 1;
             let clock = self.normalized(entry.benefit);
             match &mut self.rings {
                 // LRU: a use sets the reference weight above the insert
                 // seed (0.5), so recently-used entries survive the sweep.
-                Rings::Lru(r) => r.touch(key, 1.0),
-                Rings::Benefit(r) => r.touch(key, clock),
+                Rings::Lru(r) => r.touch(packed, 1.0),
+                Rings::Benefit(r) => r.touch(packed, clock),
                 Rings::TwoLevel { backend, computed } => match entry.origin {
-                    Origin::Backend => backend.touch(key, clock),
-                    Origin::Computed => computed.touch(key, clock),
+                    Origin::Backend => backend.touch(packed, clock),
+                    Origin::Computed => computed.touch(packed, clock),
                 },
             }
-            self.map.get(key)
+            self.map.get(&packed)
         } else {
             self.misses += 1;
             None
@@ -193,36 +198,38 @@ impl ChunkCache {
 
     /// Looks up a chunk without touching replacement state.
     pub fn peek(&self, key: &ChunkKey) -> Option<&CachedChunk> {
-        self.map.get(key)
+        self.map.get(&key.pack())
     }
 
     /// Whether `key` is cached (no replacement side effects).
     pub fn contains(&self, key: &ChunkKey) -> bool {
-        self.map.contains_key(key)
+        self.map.contains_key(&key.pack())
     }
 
     /// Pins a chunk: it cannot be chosen as an eviction victim until
     /// unpinned.
     pub fn pin(&mut self, key: ChunkKey) {
-        self.pinned.insert(key);
+        self.pinned.insert(key.pack());
     }
 
     /// Unpins a chunk.
     pub fn unpin(&mut self, key: &ChunkKey) {
-        self.pinned.remove(key);
+        self.pinned.remove(&key.pack());
     }
 
     /// Boosts the clocks of a group of chunks by (normalized) `benefit` —
     /// the two-level policy's reward for groups that computed an aggregate
-    /// (§6.3). A no-op under the plain benefit policy.
+    /// (§6.3). A no-op under the plain benefit policy. The `GroupBoost`
+    /// event reports only the chunks actually present in a ring, not every
+    /// key the caller passed.
     pub fn boost_group<'a>(&mut self, keys: impl Iterator<Item = &'a ChunkKey>, benefit: f64) {
         let amount = self.normalized(benefit);
         if let Rings::TwoLevel { backend, computed } = &mut self.rings {
             let mut chunks = 0u64;
             for key in keys {
-                backend.boost(key, amount);
-                computed.boost(key, amount);
-                chunks += 1;
+                let packed = key.pack();
+                let present = backend.boost(packed, amount) | computed.boost(packed, amount);
+                chunks += u64::from(present);
             }
             if let Some(tracer) = &self.tracer {
                 tracer.emit(&Event::GroupBoost { chunks, amount });
@@ -232,6 +239,12 @@ impl ChunkCache {
 
     /// Inserts (or replaces) a chunk, evicting per policy to fit the
     /// budget. Returns the admission decision and the evicted keys.
+    ///
+    /// A *refused* replace leaves the previously cached entry untouched:
+    /// the oversize and feasibility checks run before the old entry is
+    /// dropped, so refusal never silently destroys resident data. The old
+    /// entry is removed only once admission is certain, and is reported to
+    /// the caller via the `admitted` flag (it is not in `evicted`).
     pub fn insert(
         &mut self,
         key: ChunkKey,
@@ -239,13 +252,9 @@ impl ChunkCache {
         origin: Origin,
         benefit: f64,
     ) -> InsertOutcome {
+        let packed = key.pack();
         let bytes = data.accounting_bytes();
         let mut evicted = Vec::new();
-
-        // Replacing an existing entry: drop the old one first.
-        if self.map.contains_key(&key) {
-            self.remove_internal(&key);
-        }
 
         if bytes > self.budget {
             self.trace_insert(key, origin, bytes, false);
@@ -256,9 +265,12 @@ impl ChunkCache {
         }
 
         // Feasibility precheck: can enough unpinned bytes be freed from the
-        // victim classes this origin may evict?
-        let need = (self.used + bytes).saturating_sub(self.budget);
-        if need > 0 && self.freeable_bytes(origin) < need {
+        // victim classes this origin may evict? The entry being replaced
+        // counts as free (it is dropped iff the insert is admitted), so it
+        // is excluded from the freeable scan to avoid double counting.
+        let old_bytes = self.map.get(&packed).map_or(0, |e| e.bytes);
+        let need = (self.used - old_bytes + bytes).saturating_sub(self.budget);
+        if need > 0 && self.freeable_bytes(origin, packed) < need {
             self.trace_insert(key, origin, bytes, false);
             return InsertOutcome {
                 admitted: false,
@@ -266,17 +278,25 @@ impl ChunkCache {
             };
         }
 
+        // Admission is now guaranteed: drop the entry being replaced.
+        let replaced = self.remove_internal(packed);
+
         while self.used + bytes > self.budget {
             let victim = self.find_victim(origin);
             match victim {
                 Some(v) => {
-                    self.trace_evict(&v);
-                    self.remove_internal(&v);
-                    evicted.push(v);
+                    self.trace_evict(v);
+                    self.remove_internal(v);
+                    evicted.push(ChunkKey::unpack(v));
                 }
                 None => {
-                    // Should not happen given the precheck, but stay safe:
-                    // refuse admission rather than over-commit.
+                    // Unreachable given the precheck, but stay safe: refuse
+                    // admission rather than over-commit. The replaced entry
+                    // (if any) is already gone, so report it as evicted to
+                    // keep the caller's count tables consistent.
+                    if replaced {
+                        evicted.push(key);
+                    }
                     self.trace_insert(key, origin, bytes, false);
                     return InsertOutcome {
                         admitted: false,
@@ -290,16 +310,16 @@ impl ChunkCache {
         self.benefit_count += 1;
         let clock = self.normalized(benefit);
         match &mut self.rings {
-            Rings::Lru(r) => r.insert(key, 0.5),
-            Rings::Benefit(r) => r.insert(key, clock),
+            Rings::Lru(r) => r.insert(packed, 0.5),
+            Rings::Benefit(r) => r.insert(packed, clock),
             Rings::TwoLevel { backend, computed } => match origin {
-                Origin::Backend => backend.insert(key, clock),
-                Origin::Computed => computed.insert(key, clock),
+                Origin::Backend => backend.insert(packed, clock),
+                Origin::Computed => computed.insert(packed, clock),
             },
         }
         self.used += bytes;
         self.map.insert(
-            key,
+            packed,
             CachedChunk {
                 data,
                 origin,
@@ -328,13 +348,13 @@ impl ChunkCache {
 
     /// Emits the `Evict` event for a policy victim — called before
     /// removal, while the entry and its ring state are still readable.
-    fn trace_evict(&self, victim: &ChunkKey) {
+    fn trace_evict(&self, victim: PackedChunkKey) {
         let Some(tracer) = &self.tracer else {
             return;
         };
         let tier = self
             .map
-            .get(victim)
+            .get(&victim)
             .map(|e| tier_of(e.origin))
             .unwrap_or(Tier::Fetched);
         let (clock_round, clock) = match &self.rings {
@@ -344,9 +364,10 @@ impl ChunkCache {
                 None => (backend.rounds(), backend.clock_of(victim)),
             },
         };
+        let key = ChunkKey::unpack(victim);
         tracer.emit(&Event::Evict {
-            gb: victim.gb.0,
-            chunk: victim.chunk,
+            gb: key.gb.0,
+            chunk: key.chunk,
             tier,
             clock_round,
             clock: clock.unwrap_or(0.0),
@@ -355,19 +376,20 @@ impl ChunkCache {
 
     /// Removes a chunk explicitly; returns whether it was present.
     pub fn remove(&mut self, key: &ChunkKey) -> bool {
-        self.remove_internal(key)
+        self.remove_internal(key.pack())
     }
 
     /// Iterates over the cached keys (arbitrary order).
-    pub fn keys(&self) -> impl Iterator<Item = &ChunkKey> {
-        self.map.keys()
+    pub fn keys(&self) -> impl Iterator<Item = ChunkKey> + '_ {
+        self.map.keys().map(|&packed| ChunkKey::unpack(packed))
     }
 
-    fn freeable_bytes(&self, origin: Origin) -> usize {
+    fn freeable_bytes(&self, origin: Origin, replacing: PackedChunkKey) -> usize {
         self.map
             .iter()
-            .filter(|(k, e)| {
-                !self.pinned.contains(k)
+            .filter(|(&k, e)| {
+                k != replacing
+                    && !self.pinned.contains(&k)
                     && match (self.policy(), origin) {
                         // Computed chunks may only displace computed chunks.
                         (PolicyKind::TwoLevel, Origin::Computed) => e.origin == Origin::Computed,
@@ -378,29 +400,37 @@ impl ChunkCache {
             .sum()
     }
 
-    fn find_victim(&mut self, origin: Origin) -> Option<ChunkKey> {
+    fn find_victim(&mut self, origin: Origin) -> Option<PackedChunkKey> {
         let pinned = &self.pinned;
         match &mut self.rings {
-            Rings::Lru(r) | Rings::Benefit(r) => r.find_victim(|k| pinned.contains(k)),
+            Rings::Lru(r) | Rings::Benefit(r) => r.find_victim(|k| pinned.contains(&k)),
             Rings::TwoLevel { backend, computed } => {
                 // Computed chunks are always the first victims; backend
                 // chunks fall only to other backend chunks.
-                if let Some(v) = computed.find_victim(|k| pinned.contains(k)) {
+                if let Some(v) = computed.find_victim(|k| pinned.contains(&k)) {
                     return Some(v);
                 }
                 match origin {
-                    Origin::Backend => backend.find_victim(|k| pinned.contains(k)),
+                    Origin::Backend => backend.find_victim(|k| pinned.contains(&k)),
                     Origin::Computed => None,
                 }
             }
         }
     }
 
-    fn remove_internal(&mut self, key: &ChunkKey) -> bool {
-        let Some(entry) = self.map.remove(key) else {
+    fn remove_internal(&mut self, key: PackedChunkKey) -> bool {
+        let Some(entry) = self.map.remove(&key) else {
             return false;
         };
         self.used -= entry.bytes;
+        // Keep the normalization mean over *resident* chunks: retire this
+        // entry's contribution. The counter reset clears any accumulated
+        // floating-point residue once the cache drains.
+        self.benefit_sum -= entry.benefit.max(0.0);
+        self.benefit_count = self.benefit_count.saturating_sub(1);
+        if self.benefit_count == 0 || self.benefit_sum < 0.0 {
+            self.benefit_sum = 0.0;
+        }
         match &mut self.rings {
             Rings::Lru(r) | Rings::Benefit(r) => {
                 r.remove(key);
@@ -574,6 +604,95 @@ mod tests {
         c.insert(k(1), chunk(20), Origin::Backend, 1.0);
         assert_eq!(c.used_bytes(), 400);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn refused_oversized_replace_keeps_old_entry() {
+        let mut c = ChunkCache::new(400, PolicyKind::Benefit);
+        assert!(c.insert(k(1), chunk(10), Origin::Backend, 1.0).admitted);
+        // The replacement alone exceeds the budget: it must be refused
+        // without destroying the resident entry.
+        let out = c.insert(k(1), chunk(30), Origin::Backend, 1.0);
+        assert!(!out.admitted);
+        assert!(out.evicted.is_empty());
+        assert!(c.contains(&k(1)));
+        assert_eq!(c.peek(&k(1)).unwrap().data.len(), 10, "old data intact");
+        assert_eq!(c.used_bytes(), 200);
+    }
+
+    #[test]
+    fn refused_infeasible_replace_keeps_old_entry() {
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        assert!(c.insert(k(1), chunk(10), Origin::Backend, 1.0).admitted);
+        assert!(c.insert(k(2), chunk(10), Origin::Backend, 1.0).admitted);
+        // Replacing k1 with a bigger *computed* chunk needs 200 more bytes,
+        // which only backend chunks could free — infeasible under the
+        // two-level policy. Both entries must survive.
+        let out = c.insert(k(1), chunk(20), Origin::Computed, 100.0);
+        assert!(!out.admitted);
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used_bytes(), 400);
+        assert_eq!(c.peek(&k(1)).unwrap().origin, Origin::Backend);
+        assert_eq!(c.peek(&k(1)).unwrap().data.len(), 10);
+    }
+
+    #[test]
+    fn replace_feasible_when_old_entry_bytes_count_as_free() {
+        let mut c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        assert!(c.insert(k(1), chunk(10), Origin::Backend, 1.0).admitted);
+        assert!(c.insert(k(2), chunk(10), Origin::Backend, 1.0).admitted);
+        // Same-size replace of a full cache: the old entry's bytes make
+        // room, so no eviction is needed and nothing else is touched.
+        let out = c.insert(k(1), chunk(10), Origin::Backend, 2.0);
+        assert!(out.admitted);
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used_bytes(), 400);
+    }
+
+    #[test]
+    fn benefit_normalization_tracks_residents_after_churn() {
+        let mut c = ChunkCache::new(400, PolicyKind::Benefit);
+        // Heavy churn of huge-benefit entries that do NOT stay resident.
+        for i in 0..50 {
+            assert!(
+                c.insert(k(100 + i), chunk(10), Origin::Backend, 1e6)
+                    .admitted
+            );
+            assert!(c.remove(&k(100 + i)));
+        }
+        // If departed entries polluted the mean, both residents would be
+        // clamped to the same floor clock and the *higher*-benefit chunk
+        // (inserted first, hence swept first) would be evicted.
+        assert!(c.insert(k(1), chunk(10), Origin::Backend, 4000.0).admitted);
+        assert!(c.insert(k(2), chunk(10), Origin::Backend, 1000.0).admitted);
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 2000.0);
+        assert!(out.admitted);
+        assert_eq!(
+            out.evicted,
+            vec![k(2)],
+            "normalization must rank residents by benefit after churn"
+        );
+    }
+
+    #[test]
+    fn boost_group_reports_only_present_chunks() {
+        use aggcache_obs::RecordingTracer;
+        let recorder = Arc::new(RecordingTracer::new());
+        let mut c = ChunkCache::new(600, PolicyKind::TwoLevel);
+        c.set_tracer(Some(recorder.clone()));
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        c.insert(k(2), chunk(10), Origin::Computed, 1.0);
+        let group = [k(1), k(2), k(7), k(8)];
+        c.boost_group(group.iter(), 5.0);
+        assert!(
+            recorder
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::GroupBoost { chunks: 2, .. })),
+            "absent chunks must not be counted in the GroupBoost event"
+        );
     }
 
     #[test]

@@ -1,7 +1,6 @@
-use aggcache_chunks::ChunkKey;
-use std::collections::HashMap;
+use aggcache_chunks::hash::{PackedChunkKey, PackedMap};
 
-/// A CLOCK ring over chunk keys with real-valued clock weights.
+/// A CLOCK ring over packed chunk keys with real-valued clock weights.
 ///
 /// The sweep hand visits entries circularly; an entry whose clock has run
 /// out is the victim, otherwise its clock is decremented and the hand moves
@@ -9,11 +8,15 @@ use std::collections::HashMap;
 /// chunk benefit (normalized by the caller), so expensive chunks survive
 /// more sweep passes — the paper's "benefit based replacement … we
 /// approximate LRU with CLOCK" (§6.3).
+///
+/// Keys are packed `u64`s ([`aggcache_chunks::ChunkKey::pack`]) so the
+/// position index hashes a single integer through the crate's FxHash-style
+/// hasher instead of a two-field struct through SipHash.
 #[derive(Debug, Default)]
 pub struct ClockRing {
-    keys: Vec<ChunkKey>,
+    keys: Vec<PackedChunkKey>,
     clocks: Vec<f64>,
-    pos: HashMap<ChunkKey, usize>,
+    pos: PackedMap<usize>,
     hand: usize,
     rounds: u64,
 }
@@ -44,12 +47,12 @@ impl ClockRing {
     }
 
     /// Whether `key` is present.
-    pub fn contains(&self, key: &ChunkKey) -> bool {
-        self.pos.contains_key(key)
+    pub fn contains(&self, key: PackedChunkKey) -> bool {
+        self.pos.contains_key(&key)
     }
 
     /// Inserts `key` with an initial clock value. Panics if already present.
-    pub fn insert(&mut self, key: ChunkKey, clock: f64) {
+    pub fn insert(&mut self, key: PackedChunkKey, clock: f64) {
         let prev = self.pos.insert(key, self.keys.len());
         assert!(prev.is_none(), "key already in ring");
         self.keys.push(key);
@@ -57,14 +60,31 @@ impl ClockRing {
     }
 
     /// Removes `key` if present; returns whether it was there.
-    pub fn remove(&mut self, key: &ChunkKey) -> bool {
-        let Some(i) = self.pos.remove(key) else {
+    ///
+    /// The sweep invariant — slots `[hand, len)` are exactly the entries
+    /// still due a visit this pass — is preserved: `swap_remove` moves the
+    /// back entry (always unvisited, since `hand < len`) into slot `i`, so
+    /// when `i` is below the hand the moved entry would silently skip the
+    /// rest of the pass while the slot at `hand - 1` would be due a second
+    /// visit after the decrement. Swapping it up into `hand - 1` and pulling
+    /// the hand back keeps every remaining entry due exactly one visit.
+    pub fn remove(&mut self, key: PackedChunkKey) -> bool {
+        let Some(i) = self.pos.remove(&key) else {
             return false;
         };
         self.keys.swap_remove(i);
         self.clocks.swap_remove(i);
         if i < self.keys.len() {
             self.pos.insert(self.keys[i], i);
+        }
+        if i < self.hand {
+            self.hand -= 1;
+            if i < self.hand {
+                self.keys.swap(i, self.hand);
+                self.clocks.swap(i, self.hand);
+                self.pos.insert(self.keys[i], i);
+                self.pos.insert(self.keys[self.hand], self.hand);
+            }
         }
         if self.hand >= self.keys.len() {
             self.hand = 0;
@@ -73,22 +93,26 @@ impl ClockRing {
     }
 
     /// Refreshes `key`'s clock to at least `clock` (a cache hit).
-    pub fn touch(&mut self, key: &ChunkKey, clock: f64) {
-        if let Some(&i) = self.pos.get(key) {
+    pub fn touch(&mut self, key: PackedChunkKey, clock: f64) {
+        if let Some(&i) = self.pos.get(&key) {
             self.clocks[i] = self.clocks[i].max(clock.clamp(0.0, MAX_CLOCK));
         }
     }
 
     /// Adds `amount` to `key`'s clock (the two-level policy's group boost).
-    pub fn boost(&mut self, key: &ChunkKey, amount: f64) {
-        if let Some(&i) = self.pos.get(key) {
+    /// Returns whether the key was present.
+    pub fn boost(&mut self, key: PackedChunkKey, amount: f64) -> bool {
+        if let Some(&i) = self.pos.get(&key) {
             self.clocks[i] = (self.clocks[i] + amount.max(0.0)).min(MAX_CLOCK);
+            true
+        } else {
+            false
         }
     }
 
     /// The current clock value of `key`, if present (for tests/inspection).
-    pub fn clock_of(&self, key: &ChunkKey) -> Option<f64> {
-        self.pos.get(key).map(|&i| self.clocks[i])
+    pub fn clock_of(&self, key: PackedChunkKey) -> Option<f64> {
+        self.pos.get(&key).map(|&i| self.clocks[i])
     }
 
     /// Completed sweep rounds: how many times the hand wrapped past the
@@ -111,7 +135,10 @@ impl ClockRing {
     /// (pinned chunks). Decrements the clocks it passes over. Returns the
     /// victim key *without removing it* — callers remove via
     /// [`ClockRing::remove`] after processing.
-    pub fn find_victim(&mut self, mut skip: impl FnMut(&ChunkKey) -> bool) -> Option<ChunkKey> {
+    pub fn find_victim(
+        &mut self,
+        mut skip: impl FnMut(PackedChunkKey) -> bool,
+    ) -> Option<PackedChunkKey> {
         if self.keys.is_empty() {
             return None;
         }
@@ -126,7 +153,7 @@ impl ClockRing {
                 self.hand = 0;
             }
             let key = self.keys[self.hand];
-            if skip(&key) {
+            if skip(key) {
                 self.advance();
                 skipped_all_pass += 1;
                 if skipped_all_pass >= n {
@@ -147,7 +174,7 @@ impl ClockRing {
         let start = self.hand;
         for off in 0..n {
             let i = (start + off) % n;
-            if !skip(&self.keys[i]) {
+            if !skip(self.keys[i]) {
                 return Some(self.keys[i]);
             }
         }
@@ -155,18 +182,19 @@ impl ClockRing {
     }
 
     /// Iterates over the keys currently in the ring (arbitrary order).
-    pub fn keys(&self) -> impl Iterator<Item = &ChunkKey> {
-        self.keys.iter()
+    pub fn keys(&self) -> impl Iterator<Item = PackedChunkKey> + '_ {
+        self.keys.iter().copied()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use aggcache_chunks::ChunkKey;
     use aggcache_schema::GroupById;
 
-    fn k(i: u64) -> ChunkKey {
-        ChunkKey::new(GroupById(0), i)
+    fn k(i: u64) -> PackedChunkKey {
+        ChunkKey::new(GroupById(0), i).pack()
     }
 
     #[test]
@@ -175,11 +203,11 @@ mod tests {
         r.insert(k(1), 1.0);
         r.insert(k(2), 2.0);
         assert_eq!(r.len(), 2);
-        assert!(r.contains(&k(1)));
-        assert!(r.remove(&k(1)));
-        assert!(!r.remove(&k(1)));
+        assert!(r.contains(k(1)));
+        assert!(r.remove(k(1)));
+        assert!(!r.remove(k(1)));
         assert_eq!(r.len(), 1);
-        assert!(r.contains(&k(2)));
+        assert!(r.contains(k(2)));
     }
 
     #[test]
@@ -200,7 +228,7 @@ mod tests {
         // k2 runs out first (after the sweep decrements both).
         let v = r.find_victim(|_| false).unwrap();
         assert_eq!(v, k(2));
-        r.remove(&v);
+        r.remove(v);
         let v2 = r.find_victim(|_| false).unwrap();
         assert_eq!(v2, k(1));
     }
@@ -210,7 +238,7 @@ mod tests {
         let mut r = ClockRing::new();
         r.insert(k(1), 0.0);
         r.insert(k(2), 0.0);
-        let v = r.find_victim(|key| *key == k(1)).unwrap();
+        let v = r.find_victim(|key| key == k(1)).unwrap();
         assert_eq!(v, k(2));
         // Everything pinned → no victim.
         assert!(r.find_victim(|_| true).is_none());
@@ -221,7 +249,8 @@ mod tests {
         let mut r = ClockRing::new();
         r.insert(k(1), 1.0);
         r.insert(k(2), 1.0);
-        r.boost(&k(1), 10.0);
+        assert!(r.boost(k(1), 10.0));
+        assert!(!r.boost(k(9), 10.0));
         let v = r.find_victim(|_| false).unwrap();
         assert_eq!(v, k(2));
     }
@@ -231,7 +260,7 @@ mod tests {
         let mut r = ClockRing::new();
         r.insert(k(1), 1.0);
         r.insert(k(2), 3.0);
-        r.touch(&k(1), 8.0);
+        r.touch(k(1), 8.0);
         let v = r.find_victim(|_| false).unwrap();
         assert_eq!(v, k(2));
     }
@@ -240,9 +269,9 @@ mod tests {
     fn clocks_are_clamped() {
         let mut r = ClockRing::new();
         r.insert(k(1), 1e12);
-        assert_eq!(r.clock_of(&k(1)), Some(MAX_CLOCK));
-        r.boost(&k(1), 1e12);
-        assert_eq!(r.clock_of(&k(1)), Some(MAX_CLOCK));
+        assert_eq!(r.clock_of(k(1)), Some(MAX_CLOCK));
+        r.boost(k(1), 1e12);
+        assert_eq!(r.clock_of(k(1)), Some(MAX_CLOCK));
     }
 
     #[test]
@@ -271,15 +300,42 @@ mod tests {
         }
         // Advance the hand a bit.
         let _ = r.find_victim(|_| false);
-        r.remove(&k(0));
-        r.remove(&k(4));
+        r.remove(k(0));
+        r.remove(k(4));
         // All remaining keys still reachable and consistent.
-        let mut left: Vec<u64> = r.keys().map(|key| key.chunk).collect();
+        let mut left: Vec<u64> = r.keys().map(|key| ChunkKey::unpack(key).chunk).collect();
         left.sort_unstable();
         assert_eq!(left, vec![1, 2, 3]);
         for i in [1u64, 2, 3] {
-            assert!(r.contains(&k(i)));
+            assert!(r.contains(k(i)));
         }
         assert!(r.find_victim(|_| false).is_some());
+    }
+
+    #[test]
+    fn remove_below_hand_keeps_sweep_order_fair() {
+        let mut r = ClockRing::new();
+        r.insert(k(0), 2.0); // A
+        r.insert(k(1), 0.25); // B — runs out first, parking the hand at slot 1
+        r.insert(k(2), 2.0); // C
+        r.insert(k(3), 2.0); // D
+        assert_eq!(r.find_victim(|_| false), Some(k(1)));
+        r.remove(k(1)); // victim removal at the hand: D fills slot 1
+        assert_eq!(r.clock_of(k(2)), Some(1.75));
+        assert_eq!(r.clock_of(k(3)), Some(1.75));
+        // External removal below the hand (slot 0 < hand 1). C is moved out
+        // of the back slot; without hand adjustment it would skip the rest
+        // of this pass and D — equal clock but *later* in sweep order —
+        // would run out first.
+        r.remove(k(0));
+        let v = r.find_victim(|_| false).unwrap();
+        assert_eq!(
+            v,
+            k(2),
+            "sweep order must be preserved across swap_remove below the hand"
+        );
+        // Both survivors were decremented in lock-step: equal clocks.
+        assert_eq!(r.clock_of(k(2)), Some(0.0));
+        assert_eq!(r.clock_of(k(3)), Some(0.0));
     }
 }

@@ -22,6 +22,7 @@ mod data;
 mod dimchunk;
 mod error;
 mod grid;
+pub mod hash;
 
 pub use data::{ChunkData, ChunkDataBuilder, PAPER_TUPLE_BYTES};
 pub use dimchunk::DimChunking;
@@ -41,9 +42,76 @@ pub struct ChunkKey {
     pub chunk: ChunkNumber,
 }
 
+/// Bit position of the group-by id in a packed chunk key: the low
+/// [`PACK_CHUNK_BITS`] bits hold the chunk number, the bits above it the
+/// group-by id.
+pub const PACK_CHUNK_BITS: u32 = 40;
+
 impl ChunkKey {
     /// Convenience constructor.
     pub fn new(gb: aggcache_schema::GroupById, chunk: ChunkNumber) -> Self {
         Self { gb, chunk }
+    }
+
+    /// Packs the key into a single `u64`: group-by id in the high 24 bits,
+    /// chunk number in the low [`PACK_CHUNK_BITS`] bits.
+    ///
+    /// The packed form is what the hot maps ([`hash::PackedMap`] /
+    /// [`hash::PackedSet`]) use as their key — hashing one integer instead
+    /// of a two-field struct. Packing is ordered: `a < b` iff
+    /// `a.pack() < b.pack()` (group-by major, chunk minor), so sorting
+    /// packed keys matches sorting [`ChunkKey`]s.
+    ///
+    /// Debug builds assert the id/ordinal fit (gb id < 2^24, chunk < 2^40);
+    /// real schemas are orders of magnitude below both limits — APB-1 has
+    /// 336 group-bys and at most tens of thousands of chunks per group-by.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(u64::from(self.gb.0) < (1 << (64 - PACK_CHUNK_BITS)));
+        debug_assert!(self.chunk < (1 << PACK_CHUNK_BITS));
+        (u64::from(self.gb.0) << PACK_CHUNK_BITS) | self.chunk
+    }
+
+    /// Inverse of [`ChunkKey::pack`].
+    #[inline]
+    pub fn unpack(packed: u64) -> Self {
+        Self {
+            gb: aggcache_schema::GroupById((packed >> PACK_CHUNK_BITS) as u32),
+            chunk: packed & ((1 << PACK_CHUNK_BITS) - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod key_tests {
+    use super::*;
+    use aggcache_schema::GroupById;
+
+    #[test]
+    fn pack_round_trips() {
+        for (gb, chunk) in [
+            (0u32, 0u64),
+            (1, 1),
+            (335, 32_255),
+            (0xff_ffff, (1 << 40) - 1),
+        ] {
+            let key = ChunkKey::new(GroupById(gb), chunk);
+            assert_eq!(ChunkKey::unpack(key.pack()), key);
+        }
+    }
+
+    #[test]
+    fn pack_preserves_order() {
+        let mut keys = Vec::new();
+        for gb in [0u32, 3, 7, 100] {
+            for chunk in [0u64, 5, 9_999] {
+                keys.push(ChunkKey::new(GroupById(gb), chunk));
+            }
+        }
+        let mut by_key = keys.clone();
+        by_key.sort();
+        let mut by_packed = keys;
+        by_packed.sort_by_key(|k| k.pack());
+        assert_eq!(by_key, by_packed);
     }
 }

@@ -66,6 +66,19 @@ pub enum CacheError {
         /// The chunks that could neither be fetched nor computed.
         chunks: Vec<u64>,
     },
+    /// Two cube results that must share one cell set diverged — e.g. the
+    /// SUM and COUNT halves of an AVG decomposition returned different
+    /// non-empty cells. Returning an answer would silently produce wrong
+    /// values, so the join refuses instead.
+    CellMisalignment {
+        /// Cell count of the first (e.g. SUM) result.
+        left_cells: usize,
+        /// Cell count of the second (e.g. COUNT) result.
+        right_cells: usize,
+        /// Index of the first cell whose coordinates differ, when both
+        /// results have the same length.
+        diverges_at: Option<usize>,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -80,6 +93,20 @@ impl fmt::Display for CacheError {
                 chunks.len(),
                 gb.0
             ),
+            Self::CellMisalignment {
+                left_cells,
+                right_cells,
+                diverges_at,
+            } => match diverges_at {
+                Some(i) => write!(
+                    f,
+                    "joined cube results disagree on cell coordinates at index {i}"
+                ),
+                None => write!(
+                    f,
+                    "joined cube results have different cell sets ({left_cells} vs {right_cells} cells)"
+                ),
+            },
         }
     }
 }
@@ -90,7 +117,7 @@ impl std::error::Error for CacheError {
             Self::Store(e) => Some(e),
             Self::Schema(e) => Some(e),
             Self::Config(e) => Some(e),
-            Self::BackendUnavailable { .. } => None,
+            Self::BackendUnavailable { .. } | Self::CellMisalignment { .. } => None,
         }
     }
 }

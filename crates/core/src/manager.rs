@@ -545,6 +545,11 @@ impl CacheManager {
     /// count/cost tables consistent — including the replace case (a key
     /// already cached counts as an eviction of the old entry, otherwise its
     /// count would be incremented twice and never return to zero).
+    ///
+    /// A *refused* replace leaves the old entry resident (the cache checks
+    /// feasibility before dropping it), so the old entry's `on_evict` fires
+    /// only when the replacement actually lands — a refused insert must not
+    /// wind the count tables down for a chunk that is still cached.
     fn admit_chunk(
         &mut self,
         key: ChunkKey,
@@ -554,13 +559,17 @@ impl CacheManager {
     ) -> (bool, u64) {
         let t = Instant::now();
         let replacing = self.cache.contains(&key);
-        if replacing {
+        let size = data.len() as u32;
+        let outcome = self.cache.insert(key, data, origin, benefit);
+        if replacing && (outcome.admitted || outcome.evicted.contains(&key)) {
+            // The old entry under `key` was dropped to make room for its
+            // replacement (the `evicted` arm covers the cache's defensive
+            // refuse-after-partial-eviction path, which already reports the
+            // destroyed old entry as a victim).
             let writes = self.tables.on_evict(key);
             self.trace_table_update(key, writes, true);
         }
-        let size = data.len() as u32;
-        let outcome = self.cache.insert(key, data, origin, benefit);
-        for evicted in &outcome.evicted {
+        for evicted in outcome.evicted.iter().filter(|&&e| e != key) {
             let writes = self.tables.on_evict(*evicted);
             self.trace_table_update(*evicted, writes, true);
         }
@@ -568,9 +577,9 @@ impl CacheManager {
             let writes = self.tables.on_insert(key, size);
             self.trace_table_update(key, writes, false);
         }
-        // A refused insert (no replacement, nothing evicted) leaves probe-
-        // relevant state untouched, so outstanding probes stay valid.
-        if replacing || outcome.admitted || !outcome.evicted.is_empty() {
+        // A refused insert (old entry retained, nothing evicted) leaves
+        // probe-relevant state untouched, so outstanding probes stay valid.
+        if outcome.admitted || !outcome.evicted.is_empty() {
             self.version += 1;
         }
         (outcome.admitted, t.elapsed().as_nanos() as u64)
@@ -1284,8 +1293,41 @@ mod tests {
             let _ = run_and_check(&mut mgr, &q);
         }
         // Cross-check the cost table against a rebuild from cache contents.
-        let cached: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+        let cached: Vec<ChunkKey> = mgr.cache().keys().collect();
         let reference = CountTable::rebuild_from(mgr.grid().clone(), |k| cached.contains(&k));
+        mgr.counts().unwrap().assert_same(&reference);
+    }
+
+    #[test]
+    fn refused_oversized_replace_keeps_entry_and_count_tables() {
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(10 * PAPER_TUPLE_BYTES)
+            .build(make_backend())
+            .unwrap();
+        let grid = mgr.grid().clone();
+        let n_dims = grid.num_dims();
+        let key = ChunkKey::new(grid.schema().lattice().base(), 0);
+        let cells = |n: u32| {
+            let mut d = ChunkData::new(n_dims);
+            for i in 0..n {
+                d.push(&vec![i; n_dims], 1.0);
+            }
+            d
+        };
+        let (admitted, _) = mgr.insert_chunk(key, cells(4), Origin::Backend, 1.0);
+        assert!(admitted);
+        let version = mgr.version();
+        // Replacement bigger than the whole budget: must be refused with
+        // the old entry, count tables and probe version all untouched.
+        let (admitted, _) = mgr.insert_chunk(key, cells(11), Origin::Backend, 1.0);
+        assert!(!admitted);
+        assert!(mgr.cache().contains(&key), "old entry must survive refusal");
+        assert_eq!(mgr.cache().peek(&key).unwrap().data.len(), 4);
+        assert_eq!(mgr.cache().used_bytes(), 4 * PAPER_TUPLE_BYTES);
+        assert_eq!(mgr.version(), version, "refusal changes nothing probes see");
+        let reference = CountTable::rebuild_from(grid.clone(), |k| k == key);
         mgr.counts().unwrap().assert_same(&reference);
     }
 
@@ -1435,7 +1477,7 @@ mod tests {
         let _ = run_and_check(&mut mgr, &Query::new(base, vec![0, 0, 1]));
         // Pre-load after the cache already holds chunks of the same level.
         let _ = mgr.preload_best().unwrap();
-        let cached: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+        let cached: Vec<ChunkKey> = mgr.cache().keys().collect();
         let reference = CountTable::rebuild_from(grid.clone(), |k| cached.contains(&k));
         mgr.counts().unwrap().assert_same(&reference);
         // Evicting everything returns every count to zero.
@@ -1510,8 +1552,8 @@ mod tests {
                     assert_eq!(a.metrics.complete_hit, b.metrics.complete_hit);
                     assert_eq!(a.metrics.table_writes, b.metrics.table_writes);
                 }
-                let mut ka: Vec<ChunkKey> = seq.cache().keys().copied().collect();
-                let mut kb: Vec<ChunkKey> = bat.cache().keys().copied().collect();
+                let mut ka: Vec<ChunkKey> = seq.cache().keys().collect();
+                let mut kb: Vec<ChunkKey> = bat.cache().keys().collect();
                 ka.sort_unstable();
                 kb.sort_unstable();
                 assert_eq!(ka, kb, "cache contents diverged");

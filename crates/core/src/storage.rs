@@ -1,5 +1,5 @@
+use aggcache_chunks::hash::PackedMap;
 use aggcache_chunks::{ChunkGrid, ChunkKey};
-use std::collections::HashMap;
 
 /// Storage layout of the per-chunk acceleration arrays.
 ///
@@ -17,14 +17,14 @@ pub enum TableKind {
     Sparse,
 }
 
-/// A per-chunk cell array over the whole cube, dense or sparse.
+/// A per-chunk cell array over the whole cube, dense or sparse. The sparse
+/// map is keyed by packed chunk keys ([`ChunkKey::pack`]) behind the fast
+/// deterministic hasher — count/cost maintenance hits these cells on every
+/// probe and admission.
 #[derive(Debug)]
 pub(crate) enum Cells<T> {
     Dense(Vec<Vec<T>>),
-    Sparse {
-        default: T,
-        map: HashMap<ChunkKey, T>,
-    },
+    Sparse { default: T, map: PackedMap<T> },
 }
 
 impl<T: Copy + PartialEq> Cells<T> {
@@ -39,7 +39,7 @@ impl<T: Copy + PartialEq> Cells<T> {
             ),
             TableKind::Sparse => Cells::Sparse {
                 default,
-                map: HashMap::new(),
+                map: PackedMap::default(),
             },
         }
     }
@@ -48,7 +48,7 @@ impl<T: Copy + PartialEq> Cells<T> {
     pub(crate) fn get(&self, key: ChunkKey) -> T {
         match self {
             Cells::Dense(v) => v[key.gb.index()][key.chunk as usize],
-            Cells::Sparse { default, map } => map.get(&key).copied().unwrap_or(*default),
+            Cells::Sparse { default, map } => map.get(&key.pack()).copied().unwrap_or(*default),
         }
     }
 
@@ -58,9 +58,9 @@ impl<T: Copy + PartialEq> Cells<T> {
             Cells::Dense(v) => v[key.gb.index()][key.chunk as usize] = value,
             Cells::Sparse { default, map } => {
                 if value == *default {
-                    map.remove(&key);
+                    map.remove(&key.pack());
                 } else {
-                    map.insert(key, value);
+                    map.insert(key.pack(), value);
                 }
             }
         }
@@ -68,7 +68,10 @@ impl<T: Copy + PartialEq> Cells<T> {
 
     /// Approximate resident memory of the array in bytes. Dense: exactly
     /// one `T` per chunk of the census. Sparse: per-entry key + value +
-    /// an estimated hash-table overhead factor of 2× on slots.
+    /// an estimated hash-table overhead factor of 2× on slots. The sparse
+    /// estimate deliberately keeps the logical [`ChunkKey`] size (the
+    /// in-memory packed key is smaller) so Table 3 figures stay comparable
+    /// across revisions.
     pub(crate) fn resident_bytes(&self) -> usize {
         match self {
             Cells::Dense(v) => v.iter().map(|g| g.len() * std::mem::size_of::<T>()).sum(),

@@ -1,3 +1,4 @@
+use aggcache_chunks::hash::FxBuildHasher;
 use aggcache_chunks::ChunkData;
 use aggcache_schema::Schema;
 use std::collections::HashMap;
@@ -129,7 +130,36 @@ impl Codec {
         }
         debug_assert!(out.iter().zip(&self.cards).all(|(&c, &k)| c < k));
     }
+
+    /// Fuses a roll-up with this codec into per-dimension contribution
+    /// tables: `table[d][src] = weights[d] * rollup_d(src)`, so summing
+    /// `table[d][coords[d]]` over dimensions yields exactly
+    /// `encode(rollup(coords))` — one lookup and add per dimension in the
+    /// aggregation hot loop (see [`ChunkData::encoded_coords`]), with no
+    /// scratch coordinate buffer. The products cannot overflow: every
+    /// rolled-up coordinate is below its target cardinality, and the codec
+    /// only exists when the full target cell space fits a `u64`.
+    fn contribution_tables(&self, schema: &Schema, from: &[u8], rollup: &Rollup) -> Vec<Vec<u64>> {
+        (0..schema.num_dims())
+            .map(|d| {
+                let card = schema.dimension(d).cardinality(from[d]) as usize;
+                let w = self.weights[d];
+                match &rollup.maps[d] {
+                    Some(map) => {
+                        debug_assert_eq!(map.len(), card);
+                        map.iter().map(|&t| w * u64::from(t)).collect()
+                    }
+                    None => (0..card as u64).map(|c| w * c).collect(),
+                }
+            })
+            .collect()
+    }
 }
+
+/// One source level's cached roll-up: the level, its composed per-dimension
+/// roll-up maps, and (when the target has a codec) the fused
+/// roll-up×codec contribution tables.
+type LevelRollup = (Vec<u8>, Rollup, Option<Vec<Vec<u64>>>);
 
 /// Streaming hash-aggregator rolling cells from arbitrary source levels up
 /// to one target level.
@@ -143,11 +173,12 @@ pub struct Aggregator<'s> {
     target: Vec<u8>,
     agg: AggFn,
     codec: Option<Codec>,
-    map_u64: HashMap<u64, f64>,
-    map_box: HashMap<Box<[u32]>, f64>,
-    /// Cache of composed roll-ups, keyed by source level. Streams usually
-    /// touch a handful of levels, so a linear scan beats hashing.
-    rollups: Vec<(Vec<u8>, Rollup)>,
+    map_u64: HashMap<u64, f64, FxBuildHasher>,
+    map_box: HashMap<Box<[u32]>, f64, FxBuildHasher>,
+    /// Cache of composed roll-ups, keyed by source level, alongside the
+    /// fused roll-up×codec contribution tables when a codec exists. Streams
+    /// usually touch a handful of levels, so a linear scan beats hashing.
+    rollups: Vec<LevelRollup>,
     cells_added: u64,
     /// `(shard, num_shards)` when this aggregator owns only the target
     /// cells hashing to its shard; `None` accepts every cell.
@@ -162,8 +193,8 @@ impl<'s> Aggregator<'s> {
             target: target.to_vec(),
             agg,
             codec: Codec::new(schema, target),
-            map_u64: HashMap::new(),
-            map_box: HashMap::new(),
+            map_u64: HashMap::default(),
+            map_box: HashMap::default(),
             rollups: Vec::new(),
             cells_added: 0,
             shard: None,
@@ -199,11 +230,15 @@ impl<'s> Aggregator<'s> {
     }
 
     fn rollup_for(&mut self, from: &[u8]) -> usize {
-        if let Some(i) = self.rollups.iter().position(|(l, _)| l == from) {
+        if let Some(i) = self.rollups.iter().position(|(l, _, _)| l == from) {
             return i;
         }
         let r = Rollup::new(self.schema, from, &self.target);
-        self.rollups.push((from.to_vec(), r));
+        let tables = self
+            .codec
+            .as_ref()
+            .map(|c| c.contribution_tables(self.schema, from, &r));
+        self.rollups.push((from.to_vec(), r, tables));
         self.rollups.len() - 1
     }
 
@@ -291,8 +326,42 @@ impl<'s> Aggregator<'s> {
     }
 
     /// Adds an entire [`ChunkData`].
+    ///
+    /// When the target level has a `u64` codec this takes the columnar
+    /// fast path: cells stream through [`ChunkData::encoded_coords`]
+    /// against the fused roll-up×codec tables, skipping the per-cell
+    /// coordinate buffer of the generic [`Aggregator::add`]. Keys, cell
+    /// order and combine order are identical, so results are bit-identical.
     pub fn add_chunk(&mut self, from: &[u8], data: &ChunkData, lift: Lift) {
-        self.add(from, data.iter(), lift);
+        if self.codec.is_none() {
+            self.add(from, data.iter(), lift);
+            return;
+        }
+        let ri = self.rollup_for(from);
+        let tables = self.rollups[ri]
+            .2
+            .as_ref()
+            .expect("tables are built whenever a codec exists");
+        let agg = self.agg;
+        let shard = self.shard;
+        let mut added = 0u64;
+        for (key, v) in data.encoded_coords(tables) {
+            let v = match lift {
+                Lift::Raw => agg.lift(v),
+                Lift::Lifted => v,
+            };
+            if let Some((shard, n)) = shard {
+                if key % u64::from(n) != u64::from(shard) {
+                    continue;
+                }
+            }
+            added += 1;
+            self.map_u64
+                .entry(key)
+                .and_modify(|acc| *acc = agg.combine(*acc, v))
+                .or_insert(v);
+        }
+        self.cells_added += added;
     }
 
     /// Adds cells already rolled up to the target level and encoded with
@@ -449,7 +518,6 @@ pub fn aggregate_to_level_parallel_traced(
         return sequential(schema);
     }
     let nshards = threads.min(total);
-    let n_dims = schema.num_dims();
 
     // Phase A: contiguous global cell ranges → per-shard ordered runs.
     let bounds: Vec<usize> = (0..=nshards).map(|i| i * total / nshards).collect();
@@ -466,28 +534,33 @@ pub fn aggregate_to_level_parallel_traced(
                     let headroom = (hi - lo) / nshards + (hi - lo) / (4 * nshards) + 8;
                     let mut buckets: Vec<Vec<(u64, f64)>> =
                         (0..nshards).map(|_| Vec::with_capacity(headroom)).collect();
-                    let mut rollups: Vec<(&[u8], Rollup)> = Vec::new();
-                    let mut dst = vec![0u32; n_dims];
+                    // Fused roll-up×codec tables per source level: the range
+                    // then streams through the columnar fast path with no
+                    // per-cell coordinate buffer (keys are identical to
+                    // rolling up and encoding each cell individually).
+                    let mut tables: Vec<(&[u8], Vec<Vec<u64>>)> = Vec::new();
                     let mut pos = 0usize;
                     for &(level, data) in sources {
                         let len = data.len();
                         let start = lo.saturating_sub(pos).min(len);
                         let end = hi.saturating_sub(pos).min(len);
                         if start < end {
-                            let ri = match rollups.iter().position(|(l, _)| *l == level) {
+                            let ti = match tables.iter().position(|(l, _)| *l == level) {
                                 Some(i) => i,
                                 None => {
-                                    rollups.push((level, Rollup::new(schema, level, target)));
-                                    rollups.len() - 1
+                                    let rollup = Rollup::new(schema, level, target);
+                                    tables.push((
+                                        level,
+                                        codec.contribution_tables(schema, level, &rollup),
+                                    ));
+                                    tables.len() - 1
                                 }
                             };
-                            for i in start..end {
+                            for (key, v) in data.encoded_coords_range(&tables[ti].1, start..end) {
                                 let v = match lift {
-                                    Lift::Raw => agg.lift(data.value_of(i)),
-                                    Lift::Lifted => data.value_of(i),
+                                    Lift::Raw => agg.lift(v),
+                                    Lift::Lifted => v,
                                 };
-                                rollups[ri].1.map_into(data.coords_of(i), &mut dst);
-                                let key = codec.encode(&dst);
                                 buckets[(key % nshards as u64) as usize].push((key, v));
                             }
                         }
@@ -751,6 +824,38 @@ mod tests {
                             v.to_bits(),
                             expected.value_of(i).to_bits(),
                             "{agg:?} {target:?} nshards={nshards} cell {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_chunk_fast_path_is_bit_identical_to_add() {
+        let s = schema();
+        // Values that exercise float non-associativity so any reordering
+        // or re-bracketing of the SUM would flip bits.
+        let mut jagged = ChunkData::new(2);
+        for (i, (c, _)) in base_cells().iter().enumerate() {
+            jagged.push(c, 0.1 + i as f64 * 1e10 + (i as f64).sin());
+        }
+        for agg in [AggFn::Sum, AggFn::Count, AggFn::Min, AggFn::Max] {
+            for lift in [Lift::Raw, Lift::Lifted] {
+                for target in [[0u8, 0], [1, 1], [2, 1], [0, 1]] {
+                    let mut fast = Aggregator::new(&s, &target, agg);
+                    fast.add_chunk(&[2, 1], &jagged, lift);
+                    let mut slow = Aggregator::new(&s, &target, agg);
+                    slow.add(&[2, 1], jagged.iter(), lift);
+                    assert_eq!(fast.cells_added(), slow.cells_added());
+                    let (fast, slow) = (fast.finish(), slow.finish());
+                    assert_eq!(fast.len(), slow.len());
+                    for (i, (c, v)) in fast.iter().enumerate() {
+                        assert_eq!(c, slow.coords_of(i));
+                        assert_eq!(
+                            v.to_bits(),
+                            slow.value_of(i).to_bits(),
+                            "{agg:?} {lift:?} {target:?} cell {c:?}"
                         );
                     }
                 }

@@ -111,10 +111,12 @@ impl AvgCache {
     }
 
     /// Executes a query on both cubes and joins the cells into averages.
+    /// Fails with [`CacheError::CellMisalignment`] if the two cubes return
+    /// different cell sets (which would make the averages silently wrong).
     pub fn execute(&mut self, query: &Query) -> Result<(ChunkData, AvgMetrics), CacheError> {
         let sums = self.sum.execute(query)?;
         let counts = self.count.execute(query)?;
-        Ok(Self::join(sums, counts))
+        Self::join(sums, counts)
     }
 
     /// Executes a batch of queries on both cubes via
@@ -130,36 +132,48 @@ impl AvgCache {
     ) -> Result<Vec<(ChunkData, AvgMetrics)>, CacheError> {
         let sums = self.sum.execute_batch(queries)?;
         let counts = self.count.execute_batch(queries)?;
-        Ok(sums
-            .into_iter()
+        sums.into_iter()
             .zip(counts)
             .map(|(s, c)| Self::join(s, c))
-            .collect())
+            .collect()
     }
 
+    /// Joins the SUM and COUNT halves cell by cell. The two cubes run the
+    /// same query over the same fact table, so their non-empty cell sets
+    /// must be identical; any divergence means averages would be silently
+    /// wrong, and is reported as [`CacheError::CellMisalignment`] rather
+    /// than being a debug-only assertion.
     fn join(
         mut sums: aggcache_core::QueryResult,
         mut counts: aggcache_core::QueryResult,
-    ) -> (ChunkData, AvgMetrics) {
+    ) -> Result<(ChunkData, AvgMetrics), CacheError> {
         sums.data.sort_by_coords();
         counts.data.sort_by_coords();
-        debug_assert_eq!(
-            sums.data.len(),
-            counts.data.len(),
-            "SUM and COUNT cubes must have identical non-empty cells"
-        );
+        if sums.data.len() != counts.data.len() {
+            return Err(CacheError::CellMisalignment {
+                left_cells: sums.data.len(),
+                right_cells: counts.data.len(),
+                diverges_at: None,
+            });
+        }
         let mut out = ChunkData::with_capacity(sums.data.n_dims(), sums.data.len());
-        for ((cs, s), (cc, c)) in sums.data.iter().zip(counts.data.iter()) {
-            debug_assert_eq!(cs, cc, "cell sets must align");
+        for (i, ((cs, s), (cc, c))) in sums.data.iter().zip(counts.data.iter()).enumerate() {
+            if cs != cc {
+                return Err(CacheError::CellMisalignment {
+                    left_cells: sums.data.len(),
+                    right_cells: counts.data.len(),
+                    diverges_at: Some(i),
+                });
+            }
             out.push(cs, if c > 0.0 { s / c } else { f64::NAN });
         }
-        (
+        Ok((
             out,
             AvgMetrics {
                 sum: sums.metrics,
                 count: counts.metrics,
             },
-        )
+        ))
     }
 }
 
@@ -215,6 +229,57 @@ mod tests {
                 assert!((v - expected).abs() < 1e-9, "cell {coords:?}");
             }
         }
+    }
+
+    #[test]
+    fn join_rejects_misaligned_cell_sets() {
+        use aggcache_core::{QueryMetrics, QueryResult};
+        let result = |cells: &[(&[u32], f64)]| {
+            let mut d = ChunkData::new(2);
+            for (c, v) in cells {
+                d.push(c, *v);
+            }
+            QueryResult {
+                data: d,
+                metrics: QueryMetrics::default(),
+            }
+        };
+        // Different cell counts.
+        let err = AvgCache::join(
+            result(&[(&[0, 0], 6.0), (&[0, 1], 4.0)]),
+            result(&[(&[0, 0], 2.0)]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CacheError::CellMisalignment {
+                left_cells: 2,
+                right_cells: 1,
+                diverges_at: None
+            }
+        );
+        // Same count, diverging coordinates.
+        let err = AvgCache::join(
+            result(&[(&[0, 0], 6.0), (&[0, 1], 4.0)]),
+            result(&[(&[0, 0], 2.0), (&[1, 0], 2.0)]),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CacheError::CellMisalignment {
+                left_cells: 2,
+                right_cells: 2,
+                diverges_at: Some(1)
+            }
+        );
+        // Aligned sets join into averages.
+        let (cells, _) = AvgCache::join(
+            result(&[(&[0, 0], 6.0), (&[0, 1], 4.0)]),
+            result(&[(&[0, 0], 2.0), (&[0, 1], 0.0)]),
+        )
+        .unwrap();
+        assert_eq!(cells.value_of(0), 3.0);
+        assert!(cells.value_of(1).is_nan(), "zero count yields NaN");
     }
 
     #[test]

@@ -106,7 +106,7 @@ fn assert_metrics_identical(a: &QueryMetrics, b: &QueryMetrics, ctx: &str) {
 }
 
 fn sorted_keys(mgr: &CacheManager) -> Vec<ChunkKey> {
-    let mut keys: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+    let mut keys: Vec<ChunkKey> = mgr.cache().keys().collect();
     keys.sort_by_key(|k| (k.gb.index(), k.chunk));
     keys
 }

@@ -91,7 +91,7 @@ fn apb_stream_all_strategies_all_policies() {
 fn vcm_tables_consistent_after_apb_stream() {
     let ds = dataset();
     let (mgr, _) = run_session(&ds, Strategy::Vcm, PolicyKind::TwoLevel, 120_000, true, 60);
-    let cached: std::collections::HashSet<ChunkKey> = mgr.cache().keys().copied().collect();
+    let cached: std::collections::HashSet<ChunkKey> = mgr.cache().keys().collect();
     let rebuilt = CountTable::rebuild_from(ds.grid.clone(), |k| cached.contains(&k));
     mgr.counts().unwrap().assert_same(&rebuilt);
 }
@@ -101,7 +101,7 @@ fn vcmc_costs_consistent_after_apb_stream() {
     let ds = dataset();
     let (mgr, _) = run_session(&ds, Strategy::Vcmc, PolicyKind::TwoLevel, 120_000, true, 60);
     // Count part must agree with rebuild; cost part must match plan leaves.
-    let cached: std::collections::HashSet<ChunkKey> = mgr.cache().keys().copied().collect();
+    let cached: std::collections::HashSet<ChunkKey> = mgr.cache().keys().collect();
     let rebuilt = CountTable::rebuild_from(ds.grid.clone(), |k| cached.contains(&k));
     mgr.counts().unwrap().assert_same(&rebuilt);
     let costs = mgr.costs().unwrap();

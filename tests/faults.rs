@@ -84,7 +84,7 @@ fn assert_data_bit_identical(a: &ChunkData, b: &ChunkData, ctx: &str) {
 }
 
 fn sorted_keys(mgr: &CacheManager) -> Vec<ChunkKey> {
-    let mut keys: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+    let mut keys: Vec<ChunkKey> = mgr.cache().keys().collect();
     keys.sort_by_key(|k| (k.gb.index(), k.chunk));
     keys
 }
@@ -307,7 +307,7 @@ fn count_tables_stay_consistent_under_faults() {
             failed > 0,
             "seed {fault_seed:#x}: the stream should see outages"
         );
-        let cached: Vec<ChunkKey> = mgr.cache().keys().copied().collect();
+        let cached: Vec<ChunkKey> = mgr.cache().keys().collect();
         let reference = CountTable::rebuild_from(mgr.grid().clone(), |k| cached.contains(&k));
         mgr.counts().unwrap().assert_same(&reference);
     }

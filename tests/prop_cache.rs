@@ -79,9 +79,10 @@ fn run_ops(policy: PolicyKind, budget: usize, ops: &[Op]) {
                 let out = cache.insert(key(0, id), chunk_of(cells), origin, benefit);
                 if out.admitted {
                     shadow.insert(id, (cells, origin));
-                } else {
-                    shadow.remove(&id); // replace-path may have dropped it
                 }
+                // A refused insert — including a refused *replace* — leaves
+                // the previous entry (if any) untouched, so the shadow
+                // model changes only on admission.
                 for ev in &out.evicted {
                     // Invariant: evicted chunks are never pinned…
                     assert!(!pinned.contains(&ev.chunk), "evicted a pinned chunk");
@@ -121,6 +122,15 @@ fn run_ops(policy: PolicyKind, budget: usize, ops: &[Op]) {
         assert!(cache.used_bytes() <= budget, "budget exceeded");
         let shadow_bytes: usize = shadow.values().map(|(c, _)| c * PAPER_TUPLE_BYTES).sum();
         assert_eq!(cache.used_bytes(), shadow_bytes, "byte accounting drifted");
+        let resident_bytes: usize = cache
+            .keys()
+            .map(|k| cache.peek(&k).expect("listed key missing").bytes)
+            .sum();
+        assert_eq!(
+            cache.used_bytes(),
+            resident_bytes,
+            "used_bytes != sum of resident chunk bytes"
+        );
         assert_eq!(cache.len(), shadow.len(), "entry accounting drifted");
         for (&id, &(cells, _)) in &shadow {
             let entry = cache.peek(&key(0, id)).expect("shadow chunk missing");
