@@ -2,7 +2,7 @@
 //! reproduction report (used to populate EXPERIMENTS.md).
 use aggcache_bench::args::Args;
 use aggcache_bench::experiments::{
-    comparison, faults, policy, table1, table2, table3, unit_a, unit_b,
+    comparison, faults, policy, table1, table2, table3, tenants, unit_a, unit_b,
 };
 
 fn main() {
@@ -72,4 +72,13 @@ fn main() {
         ..Default::default()
     });
     println!("{}", faults::render(&f));
+
+    // Beyond the paper: multi-tenant traffic under the admission lab.
+    // Scaled down — the sweep runs one merged stream per cell.
+    let t = tenants::run_experiment(tenants::Opts {
+        tuples: tuples.min(60_000),
+        seed,
+        ..Default::default()
+    });
+    println!("{}", tenants::render(&t));
 }

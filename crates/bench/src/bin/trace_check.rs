@@ -67,8 +67,10 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         "shard_agg" => &["phase", "shard", "shards", "cells", "wall_ns"],
         "query_done" => &[
             "query",
+            "tenant",
             "gb",
             "complete_hit",
+            "chunks_degraded",
             "backend_virtual_ms",
             "agg_virtual_ms",
             "lookup_virtual_ms",

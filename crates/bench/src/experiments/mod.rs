@@ -7,5 +7,6 @@ pub mod policy;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod tenants;
 pub mod unit_a;
 pub mod unit_b;

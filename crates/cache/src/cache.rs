@@ -1,3 +1,4 @@
+use crate::admission::{AdmissionKind, AdmissionState, CountMinSketch};
 use crate::clock::{ClockRing, MAX_CLOCK};
 use aggcache_chunks::hash::{PackedChunkKey, PackedMap, PackedSet};
 use aggcache_chunks::{ChunkData, ChunkKey};
@@ -84,6 +85,14 @@ pub struct ChunkCache {
     benefit_count: u64,
     hits: u64,
     misses: u64,
+    /// Admission-policy selector (kept alongside the state so callers can
+    /// read back the configured kind, sketch geometry included).
+    admission_kind: AdmissionKind,
+    /// Admission-policy state; a no-op under the default
+    /// [`AdmissionKind::BenefitMean`].
+    admission: AdmissionState,
+    /// Inserts refused by the admission policy (not by feasibility).
+    admission_rejects: u64,
     /// Optional event sink; `None` keeps every emission site down to one
     /// branch.
     tracer: Option<Arc<dyn Tracer>>,
@@ -97,8 +106,19 @@ fn tier_of(origin: Origin) -> Tier {
 }
 
 impl ChunkCache {
-    /// Creates a cache with the given byte budget and policy.
+    /// Creates a cache with the given byte budget and policy, using the
+    /// default [`AdmissionKind::BenefitMean`] admission (the historical
+    /// admit-everything-feasible behaviour).
     pub fn new(budget_bytes: usize, policy: PolicyKind) -> Self {
+        Self::with_admission(budget_bytes, policy, AdmissionKind::default())
+    }
+
+    /// Creates a cache with an explicit admission policy.
+    pub fn with_admission(
+        budget_bytes: usize,
+        policy: PolicyKind,
+        admission: AdmissionKind,
+    ) -> Self {
         let rings = match policy {
             PolicyKind::Lru => Rings::Lru(ClockRing::new()),
             PolicyKind::Benefit => Rings::Benefit(ClockRing::new()),
@@ -117,6 +137,9 @@ impl ChunkCache {
             benefit_count: 0,
             hits: 0,
             misses: 0,
+            admission_kind: admission,
+            admission: AdmissionState::new(admission),
+            admission_rejects: 0,
             tracer: None,
         }
     }
@@ -165,6 +188,23 @@ impl ChunkCache {
         self.misses
     }
 
+    /// The configured admission policy.
+    pub fn admission(&self) -> AdmissionKind {
+        self.admission_kind
+    }
+
+    /// Inserts refused by the admission policy (feasible inserts turned
+    /// away by the frequency or benefit bar — not oversize/pin refusals).
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects
+    }
+
+    /// The TinyLFU frequency sketch, if that policy is active (tests and
+    /// diagnostics).
+    pub fn admission_sketch(&self) -> Option<&CountMinSketch> {
+        self.admission.sketch()
+    }
+
     fn normalized(&self, benefit: f64) -> f64 {
         if self.benefit_count == 0 || self.benefit_sum <= 0.0 {
             return 1.0;
@@ -173,9 +213,13 @@ impl ChunkCache {
         (benefit / mean).clamp(0.25, MAX_CLOCK)
     }
 
-    /// Looks up a chunk, refreshing its clock on a hit.
+    /// Looks up a chunk, refreshing its clock on a hit. Every lookup (hit
+    /// or miss) is a reference for the admission frequency sketch: repeated
+    /// misses on a hot chunk build up the frequency that later wins it
+    /// admission.
     pub fn get(&mut self, key: &ChunkKey) -> Option<&CachedChunk> {
         let packed = key.pack();
+        self.admission.record(packed);
         if let Some(entry) = self.map.get(&packed) {
             self.hits += 1;
             let clock = self.normalized(entry.benefit);
@@ -255,6 +299,9 @@ impl ChunkCache {
         let packed = key.pack();
         let bytes = data.accounting_bytes();
         let mut evicted = Vec::new();
+        // An insert attempt is a reference too: a chunk that keeps getting
+        // recomputed or refetched accrues frequency even while refused.
+        self.admission.record(packed);
 
         if bytes > self.budget {
             self.trace_insert(key, origin, bytes, false);
@@ -271,6 +318,18 @@ impl ChunkCache {
         let old_bytes = self.map.get(&packed).map_or(0, |e| e.bytes);
         let need = (self.used - old_bytes + bytes).saturating_sub(self.budget);
         if need > 0 && self.freeable_bytes(origin, packed) < need {
+            self.trace_insert(key, origin, bytes, false);
+            return InsertOutcome {
+                admitted: false,
+                evicted,
+            };
+        }
+
+        // Admission gate: only inserts that would evict are questioned.
+        // While the cache has room every policy admits everything — an
+        // empty slot protects nothing.
+        if need > 0 && !self.admission_allows(packed, origin, benefit) {
+            self.admission_rejects += 1;
             self.trace_insert(key, origin, bytes, false);
             return InsertOutcome {
                 admitted: false,
@@ -382,6 +441,49 @@ impl ChunkCache {
     /// Iterates over the cached keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = ChunkKey> + '_ {
         self.map.keys().map(|&packed| ChunkKey::unpack(packed))
+    }
+
+    /// The admission decision for an insert that must evict to fit.
+    ///
+    /// * Benefit-mean: always yes (the historical behaviour).
+    /// * Two-level: backend chunks always enter; a computed chunk enters
+    ///   only when its benefit meets the resident mean — cheap
+    ///   recomputables must not churn the cache under contention.
+    /// * TinyLFU: the candidate's sketch frequency must *exceed* the
+    ///   coldest eviction-eligible resident's (same eligibility rule as
+    ///   [`ChunkCache::freeable_bytes`]); ties keep the resident.
+    fn admission_allows(&self, candidate: PackedChunkKey, origin: Origin, benefit: f64) -> bool {
+        match &self.admission {
+            AdmissionState::BenefitMean => true,
+            AdmissionState::TwoLevel => match origin {
+                Origin::Backend => true,
+                Origin::Computed => self.normalized(benefit) >= 1.0,
+            },
+            AdmissionState::TinyLfu(sketch) => {
+                let candidate_est = sketch.estimate(candidate);
+                let victim_est = self
+                    .map
+                    .iter()
+                    .filter(|(&k, e)| {
+                        k != candidate
+                            && !self.pinned.contains(&k)
+                            && match (self.policy(), origin) {
+                                (PolicyKind::TwoLevel, Origin::Computed) => {
+                                    e.origin == Origin::Computed
+                                }
+                                _ => true,
+                            }
+                    })
+                    .map(|(&k, _)| sketch.estimate(k))
+                    .min();
+                match victim_est {
+                    Some(coldest) => candidate_est > coldest,
+                    // No eligible victim at all — leave the refusal to the
+                    // feasibility check, which already handled it.
+                    None => true,
+                }
+            }
+        }
     }
 
     fn freeable_bytes(&self, origin: Origin, replacing: PackedChunkKey) -> usize {
@@ -763,6 +865,74 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn default_admission_is_benefit_mean() {
+        let c = ChunkCache::new(400, PolicyKind::TwoLevel);
+        assert_eq!(c.admission(), AdmissionKind::BenefitMean);
+        assert!(c.admission_sketch().is_none());
+        assert_eq!(c.admission_rejects(), 0);
+    }
+
+    #[test]
+    fn tiny_lfu_rejects_cold_candidate_over_warm_residents() {
+        let mut c = ChunkCache::with_admission(400, PolicyKind::Benefit, AdmissionKind::tiny_lfu());
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        c.insert(k(2), chunk(10), Origin::Backend, 1.0);
+        // Warm the residents so their sketch frequencies rise.
+        for _ in 0..4 {
+            let _ = c.get(&k(1));
+            let _ = c.get(&k(2));
+        }
+        // A never-seen candidate must not displace a warm resident.
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 100.0);
+        assert!(!out.admitted, "cold chunk must be filtered out");
+        assert!(out.evicted.is_empty());
+        assert_eq!(c.admission_rejects(), 1);
+        assert!(c.contains(&k(1)) && c.contains(&k(2)));
+    }
+
+    #[test]
+    fn tiny_lfu_admits_frequent_candidate() {
+        let mut c = ChunkCache::with_admission(400, PolicyKind::Benefit, AdmissionKind::tiny_lfu());
+        c.insert(k(1), chunk(10), Origin::Backend, 1.0);
+        c.insert(k(2), chunk(10), Origin::Backend, 1.0);
+        // Repeated misses on k3 accrue frequency before it is ever cached.
+        for _ in 0..6 {
+            let _ = c.get(&k(3));
+        }
+        let out = c.insert(k(3), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted, "hot chunk must pass the frequency filter");
+        assert_eq!(out.evicted.len(), 1);
+        assert!(c.contains(&k(3)));
+    }
+
+    #[test]
+    fn tiny_lfu_no_gate_while_cache_has_room() {
+        let mut c =
+            ChunkCache::with_admission(1000, PolicyKind::Benefit, AdmissionKind::tiny_lfu());
+        // Cold inserts into a cache with room are always admitted.
+        assert!(c.insert(k(1), chunk(10), Origin::Backend, 1.0).admitted);
+        assert!(c.insert(k(2), chunk(10), Origin::Backend, 1.0).admitted);
+        assert_eq!(c.admission_rejects(), 0);
+    }
+
+    #[test]
+    fn two_level_admission_bars_low_benefit_computed() {
+        let mut c = ChunkCache::with_admission(400, PolicyKind::Benefit, AdmissionKind::TwoLevel);
+        c.insert(k(1), chunk(10), Origin::Backend, 100.0);
+        c.insert(k(2), chunk(10), Origin::Backend, 100.0);
+        // A computed chunk far below the resident mean is refused...
+        let out = c.insert(k(3), chunk(10), Origin::Computed, 1.0);
+        assert!(!out.admitted);
+        assert_eq!(c.admission_rejects(), 1);
+        // ...but a backend chunk of the same benefit enters unconditionally.
+        let out = c.insert(k(4), chunk(10), Origin::Backend, 1.0);
+        assert!(out.admitted);
+        // And a computed chunk at/above the mean passes the bar.
+        let out = c.insert(k(5), chunk(10), Origin::Computed, 500.0);
+        assert!(out.admitted);
     }
 
     #[test]

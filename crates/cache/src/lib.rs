@@ -17,8 +17,10 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod cache;
 mod clock;
 
+pub use admission::{AdmissionKind, CountMinSketch};
 pub use cache::{CachedChunk, ChunkCache, InsertOutcome, Origin, PolicyKind};
 pub use clock::ClockRing;

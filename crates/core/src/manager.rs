@@ -2,7 +2,7 @@ use crate::error::{CacheError, ConfigError};
 use crate::executor::execute_plan_parallel_traced;
 use crate::lookup::{esm, lookup, ComputationPlan, LookupStats, Strategy};
 use crate::{CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
-use aggcache_cache::{ChunkCache, Origin, PolicyKind};
+use aggcache_cache::{AdmissionKind, ChunkCache, Origin, PolicyKind};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
 use aggcache_obs::{Event, LookupOutcome, Tracer};
 use aggcache_schema::{GroupById, Level, SchemaError};
@@ -22,6 +22,11 @@ pub struct ManagerConfig {
     pub strategy: Strategy,
     /// The replacement policy.
     pub policy: PolicyKind,
+    /// The admission policy gating inserts that would evict. The default
+    /// ([`AdmissionKind::BenefitMean`]) admits every feasible insert — the
+    /// historical behaviour, bit-identical to builds before the admission
+    /// lab existed.
+    pub admission: AdmissionKind,
     /// Cache budget in accounting bytes (20 bytes/tuple, as in the paper).
     pub cache_bytes: usize,
     /// Virtual microseconds charged per tuple aggregated in the cache.
@@ -67,6 +72,7 @@ impl ManagerConfig {
         Self {
             strategy,
             policy,
+            admission: AdmissionKind::BenefitMean,
             cache_bytes,
             cache_per_tuple_us: 0.5,
             lookup_per_node_us: 0.2,
@@ -166,6 +172,13 @@ impl CacheManagerBuilder {
     /// Sets the replacement policy.
     pub fn policy(mut self, policy: PolicyKind) -> Self {
         self.config.policy = policy;
+        self
+    }
+
+    /// Sets the admission policy (default: [`AdmissionKind::BenefitMean`],
+    /// the historical admit-everything-feasible behaviour).
+    pub fn admission(mut self, admission: AdmissionKind) -> Self {
+        self.config.admission = admission;
         self
     }
 
@@ -361,6 +374,7 @@ pub struct QueryProbe {
     probe_ns: u64,
     version: u64,
     trace_id: u64,
+    tenant: u32,
 }
 
 impl QueryProbe {
@@ -382,6 +396,12 @@ impl QueryProbe {
     /// The cache version this probe was computed against.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The tenant the probe is attributed to (0 unless probed via
+    /// [`CacheManager::probe_as`]).
+    pub fn tenant(&self) -> u32 {
+        self.tenant
     }
 }
 
@@ -409,7 +429,7 @@ impl CacheManager {
             _ => Tables::None,
         };
         Self {
-            cache: ChunkCache::new(config.cache_bytes, config.policy),
+            cache: ChunkCache::with_admission(config.cache_bytes, config.policy, config.admission),
             grid,
             backend,
             tables,
@@ -677,6 +697,15 @@ impl CacheManager {
     ///
     /// [version]: CacheManager::version
     pub fn probe(&self, query: &Query) -> QueryProbe {
+        self.probe_as(query, 0)
+    }
+
+    /// Like [`CacheManager::probe`], attributing the query to `tenant`.
+    /// Attribution changes only the tenant tag on the closing
+    /// [`Event::QueryDone`] (and thus the per-tenant breakdowns in
+    /// `MetricsRegistry`); results, cache state and virtual time are
+    /// untouched.
+    pub fn probe_as(&self, query: &Query, tenant: u32) -> QueryProbe {
         let t_probe = Instant::now();
         let trace_id = match &self.tracer {
             Some(tracer) => {
@@ -780,6 +809,7 @@ impl CacheManager {
             probe_ns,
             version: self.version,
             trace_id,
+            tenant,
         }
     }
 
@@ -797,7 +827,7 @@ impl CacheManager {
         let probe = if probe.version == self.version {
             probe
         } else {
-            self.probe(query)
+            self.probe_as(query, probe.tenant)
         };
         let QueryProbe {
             plans,
@@ -808,6 +838,7 @@ impl CacheManager {
             probe_ns,
             version: _,
             trace_id,
+            tenant,
         } = probe;
         let mut metrics = QueryMetrics {
             lookup_ns,
@@ -945,7 +976,7 @@ impl CacheManager {
         metrics.complete_hit = missing.is_empty();
         metrics.table_writes = self.tables.updates() - writes_before;
         metrics.apply_ns = t_apply.elapsed().as_nanos() as u64;
-        self.finish_metrics(&mut metrics, trace_id, query.gb);
+        self.finish_metrics(&mut metrics, trace_id, query.gb, tenant);
         Ok(QueryResult {
             data: result,
             metrics,
@@ -1048,6 +1079,14 @@ impl CacheManager {
         self.apply(query, probe)
     }
 
+    /// Like [`CacheManager::execute`], attributing the query to `tenant`
+    /// for the obs layer's per-tenant breakdowns. Results, cache state and
+    /// virtual-time metrics are identical to [`CacheManager::execute`].
+    pub fn execute_as(&mut self, query: &Query, tenant: u32) -> Result<QueryResult, CacheError> {
+        let probe = self.probe_as(query, tenant);
+        self.apply(query, probe)
+    }
+
     /// Executes a batch of queries: the probe phase runs for all queries
     /// concurrently across [`ManagerConfig::threads`] scoped threads, then
     /// the apply phase runs sequentially in submission order (the cache is
@@ -1061,9 +1100,33 @@ impl CacheManager {
     /// read-mostly stream (warm cache, admissions refused) no re-probe
     /// happens and every lookup runs in parallel.
     pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, CacheError> {
+        let tagged: Vec<(u32, &Query)> = queries.iter().map(|q| (0, q)).collect();
+        self.execute_batch_inner(&tagged)
+    }
+
+    /// Batched execution with per-query tenant attribution: the probe and
+    /// apply phases behave exactly like [`CacheManager::execute_batch`],
+    /// but each query's closing [`Event::QueryDone`] carries its tenant
+    /// tag. The multi-tenant traffic engine drives the manager through
+    /// this entry point with its merged virtual-time arrival order.
+    pub fn execute_batch_tagged(
+        &mut self,
+        queries: &[(u32, Query)],
+    ) -> Result<Vec<QueryResult>, CacheError> {
+        let tagged: Vec<(u32, &Query)> = queries.iter().map(|(t, q)| (*t, q)).collect();
+        self.execute_batch_inner(&tagged)
+    }
+
+    fn execute_batch_inner(
+        &mut self,
+        queries: &[(u32, &Query)],
+    ) -> Result<Vec<QueryResult>, CacheError> {
         let threads = self.config.threads.clamp(1, queries.len().max(1));
         let probes: Vec<QueryProbe> = if threads <= 1 {
-            queries.iter().map(|q| self.probe(q)).collect()
+            queries
+                .iter()
+                .map(|&(tenant, q)| self.probe_as(q, tenant))
+                .collect()
         } else {
             let this: &CacheManager = self;
             std::thread::scope(|scope| {
@@ -1075,7 +1138,7 @@ impl CacheManager {
                                 .enumerate()
                                 .skip(t)
                                 .step_by(threads)
-                                .map(|(i, q)| (i, this.probe(q)))
+                                .map(|(i, &(tenant, q))| (i, this.probe_as(q, tenant)))
                                 .collect::<Vec<_>>()
                         })
                     })
@@ -1095,7 +1158,7 @@ impl CacheManager {
         queries
             .iter()
             .zip(probes)
-            .map(|(query, probe)| self.apply(query, probe))
+            .map(|(&(_, query), probe)| self.apply(query, probe))
             .collect()
     }
 
@@ -1118,7 +1181,13 @@ impl CacheManager {
         })
     }
 
-    fn finish_metrics(&mut self, metrics: &mut QueryMetrics, trace_id: u64, gb: GroupById) {
+    fn finish_metrics(
+        &mut self,
+        metrics: &mut QueryMetrics,
+        trace_id: u64,
+        gb: GroupById,
+        tenant: u32,
+    ) {
         metrics.lookup_virtual_ms =
             metrics.lookup_nodes as f64 * self.config.lookup_per_node_us / 1000.0;
         metrics.update_virtual_ms =
@@ -1127,12 +1196,14 @@ impl CacheManager {
         if let Some(tracer) = &self.tracer {
             tracer.emit(&Event::QueryDone {
                 query: trace_id,
+                tenant,
                 gb: gb.0,
                 complete_hit: metrics.complete_hit,
                 chunks_hit: metrics.chunks_hit as u64,
                 chunks_computed: metrics.chunks_computed as u64,
                 chunks_missed: metrics.chunks_missed as u64,
                 chunks_demoted: metrics.chunks_demoted as u64,
+                chunks_degraded: metrics.chunks_degraded as u64,
                 tuples_aggregated: metrics.tuples_aggregated,
                 backend_tuples: metrics.backend_tuples,
                 lookup_nodes: metrics.lookup_nodes,

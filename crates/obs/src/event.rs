@@ -259,6 +259,8 @@ pub enum Event {
     QueryDone {
         /// Probe id of the probe that produced the answer.
         query: u64,
+        /// Tenant that issued the query (0 for single-tenant sessions).
+        tenant: u32,
         /// Group-by id of the query.
         gb: u32,
         /// Answered entirely from the cache.
@@ -271,6 +273,9 @@ pub enum Event {
         chunks_missed: u64,
         /// Chunks demoted by the cost-based optimizer.
         chunks_demoted: u64,
+        /// Chunks served degraded (backend fetch failed, answered from
+        /// cached aggregates instead).
+        chunks_degraded: u64,
         /// Tuples aggregated in cache.
         tuples_aggregated: u64,
         /// Base tuples scanned by the backend.
@@ -539,12 +544,14 @@ impl Event {
             }
             Event::QueryDone {
                 query,
+                tenant,
                 gb,
                 complete_hit,
                 chunks_hit,
                 chunks_computed,
                 chunks_missed,
                 chunks_demoted,
+                chunks_degraded,
                 tuples_aggregated,
                 backend_tuples,
                 lookup_nodes,
@@ -561,6 +568,7 @@ impl Event {
                 update_ns,
             } => {
                 field_u(out, "query", *query);
+                field_u(out, "tenant", u64::from(*tenant));
                 field_u(out, "gb", u64::from(*gb));
                 out.push_str(",\"complete_hit\":");
                 out.push_str(if *complete_hit { "true" } else { "false" });
@@ -568,6 +576,7 @@ impl Event {
                 field_u(out, "chunks_computed", *chunks_computed);
                 field_u(out, "chunks_missed", *chunks_missed);
                 field_u(out, "chunks_demoted", *chunks_demoted);
+                field_u(out, "chunks_degraded", *chunks_degraded);
                 field_u(out, "tuples_aggregated", *tuples_aggregated);
                 field_u(out, "backend_tuples", *backend_tuples);
                 field_u(out, "lookup_nodes", *lookup_nodes);

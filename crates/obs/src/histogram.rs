@@ -106,6 +106,24 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Upper bound of the bucket containing the `q`-quantile (tail-latency
+    /// estimate: the log2 bucket resolution bounds the error to 2×).
+    /// `None` when empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_hi(i));
+            }
+        }
+        Some(Self::bucket_hi(HISTOGRAM_BUCKETS - 1))
+    }
+
     /// Iterates over non-empty buckets as `(lo, hi, count)`.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
         self.buckets
@@ -199,6 +217,20 @@ mod tests {
         assert_eq!(h.buckets()[1], 1); // 1.0
         assert_eq!(h.buckets()[2], 2); // 2.0, 3.0
         assert_eq!(h.buckets()[10], 1); // 1000.0 in [512, 1024)
+    }
+
+    #[test]
+    fn quantile_walks_bucket_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.99), None);
+        for _ in 0..99 {
+            h.record(3.0); // bucket 2: [2, 4)
+        }
+        h.record(1000.0); // bucket 10: [512, 1024)
+        assert_eq!(h.quantile(0.5), Some(4.0));
+        assert_eq!(h.quantile(0.99), Some(4.0));
+        assert_eq!(h.quantile(1.0), Some(1024.0));
+        assert_eq!(h.quantile(0.0), Some(4.0), "q=0 is the first value");
     }
 
     #[test]

@@ -38,9 +38,57 @@ pub struct LevelStats {
     pub update_virtual_ms: f64,
 }
 
+/// Per-tenant counters aggregated from [`Event::QueryDone`], including a
+/// virtual-time latency histogram for per-tenant tail latency.
+#[derive(Debug, Default, Clone)]
+pub struct TenantStats {
+    /// Queries issued by this tenant.
+    pub queries: u64,
+    /// Complete hits (answered entirely from the cache).
+    pub complete_hits: u64,
+    /// Chunks answered directly from the cache.
+    pub chunks_hit: u64,
+    /// Chunks computed by in-cache aggregation.
+    pub chunks_computed: u64,
+    /// Chunks fetched from the backend.
+    pub chunks_missed: u64,
+    /// Chunks served degraded (backend unavailable, answered from cached
+    /// aggregates).
+    pub chunks_degraded: u64,
+    /// Queries with at least one degraded chunk.
+    pub degraded_queries: u64,
+    /// Total virtual milliseconds across this tenant's queries.
+    pub total_virtual_ms: f64,
+    /// Per-query total virtual latency (microseconds) — the source for
+    /// per-tenant p95/p99 tail latency.
+    pub latency_virtual_us: Histogram,
+}
+
+impl TenantStats {
+    /// Fraction of queries answered entirely from the cache.
+    pub fn complete_hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.complete_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of chunk demands served without a backend fetch.
+    pub fn chunk_hit_ratio(&self) -> f64 {
+        let total = self.chunks_hit + self.chunks_computed + self.chunks_missed;
+        if total == 0 {
+            0.0
+        } else {
+            (self.chunks_hit + self.chunks_computed) as f64 / total as f64
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     levels: BTreeMap<u32, LevelStats>,
+    tenants: BTreeMap<u32, TenantStats>,
     /// Wall-clock histograms (nanoseconds). Strictly separate from `virt`.
     wall_ns: BTreeMap<&'static str, Histogram>,
     /// Virtual-time histograms (microseconds). Strictly separate from
@@ -86,6 +134,11 @@ impl MetricsRegistry {
     /// Snapshot of the per-level stats, keyed by group-by id.
     pub fn levels(&self) -> BTreeMap<u32, LevelStats> {
         self.inner.lock().unwrap().levels.clone()
+    }
+
+    /// Snapshot of the per-tenant stats, keyed by tenant id.
+    pub fn tenants(&self) -> BTreeMap<u32, TenantStats> {
+        self.inner.lock().unwrap().tenants.clone()
     }
 
     /// Snapshot of one named counter (0 when never bumped).
@@ -164,6 +217,32 @@ impl MetricsRegistry {
             }
             out.push('}');
         }
+        out.push_str("],\"tenants\":[");
+        for (i, (tenant, s)) in inner.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"tenant\":{tenant}");
+            for (k, v) in [
+                ("queries", s.queries),
+                ("complete_hits", s.complete_hits),
+                ("chunks_hit", s.chunks_hit),
+                ("chunks_computed", s.chunks_computed),
+                ("chunks_missed", s.chunks_missed),
+                ("chunks_degraded", s.chunks_degraded),
+                ("degraded_queries", s.degraded_queries),
+            ] {
+                out.push(',');
+                push_str(out, k);
+                out.push(':');
+                out.push_str(&v.to_string());
+            }
+            out.push_str(",\"total_virtual_ms\":");
+            push_f64(out, s.total_virtual_ms);
+            out.push_str(",\"latency_virtual_us\":");
+            s.latency_virtual_us.write_json(out);
+            out.push('}');
+        }
         out.push_str("],\"wall_ns\":{");
         for (i, (k, h)) in inner.wall_ns.iter().enumerate() {
             if i > 0 {
@@ -213,6 +292,34 @@ impl MetricsRegistry {
                 s.agg_virtual_ms,
                 s.lookup_virtual_ms,
                 s.update_virtual_ms,
+            );
+        }
+        out
+    }
+
+    /// Serializes the per-tenant table as CSV (header + one row per
+    /// tenant). Virtual-time only, like the per-level table; the p95/p99
+    /// columns are log2-bucket upper bounds in virtual microseconds.
+    pub fn tenants_to_csv(&self) -> String {
+        let inner = self.inner.lock().unwrap();
+        let mut out = String::from(
+            "tenant,queries,complete_hits,chunks_hit,chunks_computed,chunks_missed,\
+             chunks_degraded,degraded_queries,total_virtual_ms,p95_virtual_us,p99_virtual_us\n",
+        );
+        for (tenant, s) in &inner.tenants {
+            let _ = writeln!(
+                out,
+                "{tenant},{},{},{},{},{},{},{},{},{},{}",
+                s.queries,
+                s.complete_hits,
+                s.chunks_hit,
+                s.chunks_computed,
+                s.chunks_missed,
+                s.chunks_degraded,
+                s.degraded_queries,
+                s.total_virtual_ms,
+                s.latency_virtual_us.quantile(0.95).unwrap_or(0.0),
+                s.latency_virtual_us.quantile(0.99).unwrap_or(0.0),
             );
         }
         out
@@ -309,12 +416,14 @@ impl Tracer for MetricsRegistry {
                 inner.wall("shard_agg", *wall_ns);
             }
             Event::QueryDone {
+                tenant,
                 gb,
                 complete_hit,
                 chunks_hit,
                 chunks_computed,
                 chunks_missed,
                 chunks_demoted,
+                chunks_degraded,
                 tuples_aggregated,
                 backend_tuples,
                 lookup_nodes,
@@ -347,6 +456,16 @@ impl Tracer for MetricsRegistry {
                 s.agg_virtual_ms += agg_virtual_ms;
                 s.lookup_virtual_ms += lookup_virtual_ms;
                 s.update_virtual_ms += update_virtual_ms;
+                let t = inner.tenants.entry(*tenant).or_default();
+                t.queries += 1;
+                t.complete_hits += u64::from(*complete_hit);
+                t.chunks_hit += chunks_hit;
+                t.chunks_computed += chunks_computed;
+                t.chunks_missed += chunks_missed;
+                t.chunks_degraded += chunks_degraded;
+                t.degraded_queries += u64::from(*chunks_degraded > 0);
+                t.total_virtual_ms += total_virtual_ms;
+                t.latency_virtual_us.record(total_virtual_ms * 1000.0);
                 inner.virt("query_total", total_virtual_ms * 1000.0);
                 inner.wall("query_probe", *probe_ns);
                 inner.wall("query_apply", *apply_ns);
@@ -364,14 +483,20 @@ mod tests {
     use crate::json::JsonValue;
 
     fn query_done(gb: u32, hit: bool) -> Event {
+        query_done_for(0, gb, hit)
+    }
+
+    fn query_done_for(tenant: u32, gb: u32, hit: bool) -> Event {
         Event::QueryDone {
             query: 1,
+            tenant,
             gb,
             complete_hit: hit,
             chunks_hit: 2,
             chunks_computed: 1,
             chunks_missed: u64::from(!hit),
             chunks_demoted: 0,
+            chunks_degraded: 0,
             tuples_aggregated: 100,
             backend_tuples: 50,
             lookup_nodes: 7,
@@ -405,6 +530,47 @@ mod tests {
         assert!((l3.backend_virtual_ms - 20.0).abs() < 1e-12);
         assert_eq!(r.counter("queries"), 3);
         assert_eq!(r.counter("events"), 3);
+    }
+
+    #[test]
+    fn aggregates_per_tenant() {
+        let r = MetricsRegistry::new();
+        r.emit(&query_done_for(0, 3, true));
+        r.emit(&query_done_for(1, 3, false));
+        r.emit(&query_done_for(1, 5, true));
+        let mut degraded = query_done_for(1, 5, false);
+        if let Event::QueryDone {
+            chunks_degraded, ..
+        } = &mut degraded
+        {
+            *chunks_degraded = 2;
+        }
+        r.emit(&degraded);
+        let tenants = r.tenants();
+        assert_eq!(tenants.len(), 2);
+        assert_eq!(tenants[&0].queries, 1);
+        assert_eq!(tenants[&0].complete_hits, 1);
+        assert_eq!(tenants[&1].queries, 3);
+        assert_eq!(tenants[&1].chunks_degraded, 2);
+        assert_eq!(tenants[&1].degraded_queries, 1);
+        assert_eq!(tenants[&1].latency_virtual_us.count(), 3);
+        assert!((tenants[&0].complete_hit_ratio() - 1.0).abs() < 1e-12);
+        // Per-tenant queries sum to the session total.
+        let total: u64 = tenants.values().map(|t| t.queries).sum();
+        assert_eq!(total, r.counter("queries"));
+        // Tenant rows appear in JSON and CSV exports.
+        let json = r.to_json();
+        let v = JsonValue::parse(&json).expect("valid JSON");
+        let rows = v.get("tenants").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].get("tenant").and_then(JsonValue::as_f64), Some(1.0));
+        assert_eq!(
+            rows[1].get("chunks_degraded").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let csv = r.tenants_to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,1,1,"));
     }
 
     #[test]

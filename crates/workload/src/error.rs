@@ -1,0 +1,95 @@
+//! Typed construction errors for workload configurations.
+
+/// A workload configuration rejected at construction.
+///
+/// Before these checks existed an invalid configuration either panicked
+/// deep inside the generator (`max_span: 0` hit an empty sample range) or
+/// silently skewed the stream (a mix summing to 0.9 turned the remainder
+/// into extra random jumps).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The [`crate::QueryMix`] probabilities do not sum to 1.
+    MixSum {
+        /// The actual sum.
+        sum: f64,
+    },
+    /// A [`crate::QueryMix`] probability is negative or non-finite.
+    BadProbability {
+        /// Field name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `max_span` must be at least 1 chunk.
+    ZeroSpan,
+    /// `aggregated_bias` must be finite and positive.
+    BadBias {
+        /// The offending value.
+        value: f64,
+    },
+    /// A Zipf skew must be finite and non-negative.
+    BadSkew {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `max_level` arity differs from the grid's dimension count.
+    LevelArity {
+        /// Dimensions in the grid.
+        expected: usize,
+        /// Levels in `max_level`.
+        got: usize,
+    },
+    /// A virtual-time rate (e.g. a tenant's mean inter-arrival time) must
+    /// be finite and positive.
+    BadRate {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A multi-tenant configuration needs at least one tenant.
+    NoTenants,
+    /// A multi-tenant configuration needs at least one tenant profile.
+    NoProfiles,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MixSum { sum } => {
+                write!(f, "query-mix probabilities must sum to 1 (got {sum})")
+            }
+            Self::BadProbability { name, value } => {
+                write!(
+                    f,
+                    "query-mix probability {name} must be in [0, 1] (got {value})"
+                )
+            }
+            Self::ZeroSpan => write!(f, "max_span must be at least 1 chunk"),
+            Self::BadBias { value } => {
+                write!(
+                    f,
+                    "aggregated_bias must be finite and positive (got {value})"
+                )
+            }
+            Self::BadSkew { name, value } => {
+                write!(f, "{name} must be finite and non-negative (got {value})")
+            }
+            Self::LevelArity { expected, got } => {
+                write!(
+                    f,
+                    "max_level has {got} levels but the grid has {expected} dimensions"
+                )
+            }
+            Self::BadRate { name, value } => {
+                write!(f, "{name} must be finite and positive (got {value})")
+            }
+            Self::NoTenants => write!(f, "at least one tenant is required"),
+            Self::NoProfiles => write!(f, "at least one tenant profile is required"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

@@ -15,6 +15,12 @@
 
 #![warn(missing_docs)]
 
+mod error;
+mod tenants;
+
+pub use error::WorkloadError;
+pub use tenants::{Arrival, MultiTenantConfig, TenantProfile, TrafficEngine};
+
 use aggcache_chunks::ChunkGrid;
 use aggcache_core::Query;
 use aggcache_schema::{GroupById, Level};
@@ -69,6 +75,26 @@ impl QueryMix {
         }
     }
 
+    /// Checks that every probability is a finite value in `[0, 1]` and
+    /// that they sum to 1 (within `1e-9`).
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        for (name, value) in [
+            ("drill_down", self.drill_down),
+            ("roll_up", self.roll_up),
+            ("proximity", self.proximity),
+            ("random", self.random),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(WorkloadError::BadProbability { name, value });
+            }
+        }
+        let sum = self.drill_down + self.roll_up + self.proximity + self.random;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(WorkloadError::MixSum { sum });
+        }
+        Ok(())
+    }
+
     fn pick(&self, rng: &mut StdRng) -> QueryKind {
         let x: f64 = rng.gen();
         if x < self.drill_down {
@@ -100,6 +126,14 @@ pub struct WorkloadConfig {
     /// the fact that OLAP analysts mostly query summaries and only
     /// occasionally drill to detail.
     pub aggregated_bias: f64,
+    /// Optional Zipf skew over levels for random jumps: when `Some(s)`,
+    /// the per-dimension level weight becomes the power law `1/(l+1)^s`
+    /// instead of the geometric `aggregated_bias^l` — the multi-tenant
+    /// engine uses this to give hot dashboard tenants Zipf-distributed
+    /// popularity over the aggregated group-by levels. `None` (the
+    /// default everywhere else) keeps the historical geometric weighting
+    /// bit-identically.
+    pub level_zipf: Option<f64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -112,8 +146,34 @@ impl WorkloadConfig {
             max_level,
             max_span: 2,
             aggregated_bias: 0.6,
+            level_zipf: None,
             seed,
         }
+    }
+
+    /// Checks the configuration invariants: a valid [`QueryMix`],
+    /// `max_span >= 1`, a finite positive `aggregated_bias` and a finite
+    /// non-negative `level_zipf` (when set). Grid-dependent checks
+    /// (`max_level` arity) happen in [`QueryStream::try_new`].
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        self.mix.validate()?;
+        if self.max_span == 0 {
+            return Err(WorkloadError::ZeroSpan);
+        }
+        if !self.aggregated_bias.is_finite() || self.aggregated_bias <= 0.0 {
+            return Err(WorkloadError::BadBias {
+                value: self.aggregated_bias,
+            });
+        }
+        if let Some(s) = self.level_zipf {
+            if !s.is_finite() || s < 0.0 {
+                return Err(WorkloadError::BadSkew {
+                    name: "level_zipf",
+                    value: s,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -131,17 +191,34 @@ pub struct QueryStream {
 
 impl QueryStream {
     /// Creates a stream over `grid` with the given configuration.
+    ///
+    /// # Panics
+    /// On an invalid configuration — use [`QueryStream::try_new`] to get
+    /// the typed [`WorkloadError`] instead.
     pub fn new(grid: Arc<ChunkGrid>, cfg: WorkloadConfig) -> Self {
-        assert_eq!(cfg.max_level.len(), grid.num_dims());
+        Self::try_new(grid, cfg).expect("invalid workload configuration")
+    }
+
+    /// Creates a stream over `grid`, validating the configuration
+    /// (probabilities sum to 1, `max_span >= 1`, level arity matches the
+    /// grid) instead of panicking mid-generation.
+    pub fn try_new(grid: Arc<ChunkGrid>, cfg: WorkloadConfig) -> Result<Self, WorkloadError> {
+        cfg.validate()?;
+        if cfg.max_level.len() != grid.num_dims() {
+            return Err(WorkloadError::LevelArity {
+                expected: grid.num_dims(),
+                got: cfg.max_level.len(),
+            });
+        }
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let (level, region) = random_state(&grid, &cfg, &mut rng);
-        Self {
+        Ok(Self {
             grid,
             cfg,
             rng,
             level,
             region,
-        }
+        })
     }
 
     /// The group-by id of the current level.
@@ -250,12 +327,17 @@ fn random_state(
         .max_level
         .iter()
         .map(|&h| {
-            // Weighted choice: P(l) ∝ bias^l over 0..=h.
+            // Weighted choice over 0..=h: geometric P(l) ∝ bias^l, or the
+            // Zipf power law P(l) ∝ 1/(l+1)^s when `level_zipf` is set.
             let b = cfg.aggregated_bias.clamp(1e-6, 1.0);
-            let total: f64 = (0..=h).map(|l| b.powi(i32::from(l))).sum();
+            let weight = |l| match cfg.level_zipf {
+                Some(s) => (f64::from(i32::from(l)) + 1.0).powf(-s),
+                None => b.powi(i32::from(l)),
+            };
+            let total: f64 = (0..=h).map(weight).sum();
             let mut x: f64 = rng.gen::<f64>() * total;
             for l in 0..=h {
-                x -= b.powi(i32::from(l));
+                x -= weight(l);
                 if x <= 0.0 {
                     return l;
                 }
@@ -364,6 +446,7 @@ mod tests {
                 max_level: max,
                 max_span: 2,
                 aggregated_bias: 1.0,
+                level_zipf: None,
                 seed: 5,
             },
         );
@@ -378,6 +461,73 @@ mod tests {
             }
             prev_level = level;
         }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let grid = fig4_spec().build_grid();
+        let max = grid.schema().base_level();
+        // Regression: max_span = 0 used to panic deep inside the region
+        // sampler ("cannot sample empty range") instead of erroring.
+        let mut cfg = WorkloadConfig::paper(max.clone(), 1);
+        cfg.max_span = 0;
+        assert_eq!(
+            QueryStream::try_new(grid.clone(), cfg).err(),
+            Some(WorkloadError::ZeroSpan)
+        );
+        // Probabilities that do not sum to 1 silently skewed the stream.
+        let mut cfg = WorkloadConfig::paper(max.clone(), 1);
+        cfg.mix.random = 0.0;
+        assert!(matches!(
+            QueryStream::try_new(grid.clone(), cfg).err(),
+            Some(WorkloadError::MixSum { .. })
+        ));
+        // Negative probabilities are rejected by name.
+        let mut cfg = WorkloadConfig::paper(max.clone(), 1);
+        cfg.mix.drill_down = -0.1;
+        cfg.mix.random = 0.5;
+        assert_eq!(
+            QueryStream::try_new(grid.clone(), cfg).err(),
+            Some(WorkloadError::BadProbability {
+                name: "drill_down",
+                value: -0.1
+            })
+        );
+        // Arity mismatch against the grid.
+        let cfg = WorkloadConfig::paper(vec![1], 1);
+        assert_eq!(
+            QueryStream::try_new(grid.clone(), cfg).err(),
+            Some(WorkloadError::LevelArity {
+                expected: 2,
+                got: 1
+            })
+        );
+        // And a valid config still constructs.
+        assert!(QueryStream::try_new(grid, WorkloadConfig::paper(max, 1)).is_ok());
+    }
+
+    #[test]
+    fn level_zipf_biases_random_jumps_to_aggregated_levels() {
+        let grid = fig4_spec().build_grid();
+        let max = grid.schema().base_level();
+        let run = |zipf: Option<f64>| {
+            let mut cfg = WorkloadConfig::paper(max.clone(), 42);
+            cfg.mix = QueryMix::random_only();
+            cfg.level_zipf = zipf;
+            let mut s = QueryStream::new(grid.clone(), cfg);
+            let mut depth = 0u64;
+            for _ in 0..1000 {
+                let (q, _) = s.next_with_kind();
+                let level = grid.schema().lattice().level_of(q.gb);
+                depth += level.iter().map(|&l| u64::from(l)).sum::<u64>();
+            }
+            depth
+        };
+        // A strong Zipf skew concentrates mass on the most aggregated
+        // levels, so mean query depth drops vs the geometric default.
+        assert!(run(Some(3.0)) < run(None));
+        // Zero skew is uniform — deeper on average than bias 0.6.
+        assert!(run(Some(0.0)) > run(None));
     }
 
     #[test]
@@ -409,6 +559,7 @@ mod tests {
                 max_level: max,
                 max_span: 1,
                 aggregated_bias: 1.0,
+                level_zipf: None,
                 seed: 13,
             },
         );

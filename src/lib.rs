@@ -69,7 +69,9 @@ pub use aggcache_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use aggcache_cache::{CachedChunk, ChunkCache, Origin, PolicyKind};
+    pub use aggcache_cache::{
+        AdmissionKind, CachedChunk, ChunkCache, CountMinSketch, Origin, PolicyKind,
+    };
     pub use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, ChunkNumber, PAPER_TUPLE_BYTES};
     pub use aggcache_core::{
         CacheError, CacheManager, CacheManagerBuilder, ComputationPlan, ConfigError, CostTable,
@@ -77,11 +79,14 @@ pub mod prelude {
         QueryResult, SessionMetrics, Strategy, TableKind, ValueQuery,
     };
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
-    pub use aggcache_obs::{Event, MetricsRegistry, RecordingTracer, Tracer};
+    pub use aggcache_obs::{Event, MetricsRegistry, RecordingTracer, TenantStats, Tracer};
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
     pub use aggcache_store::{
         AggFn, Backend, BackendCostModel, BackendSource, FactTable, FaultInjectingBackend,
         FaultProfile, Lift, RetryPolicy, RetryingBackend,
     };
-    pub use aggcache_workload::{QueryKind, QueryMix, QueryStream, WorkloadConfig};
+    pub use aggcache_workload::{
+        Arrival, MultiTenantConfig, QueryKind, QueryMix, QueryStream, TenantProfile, TrafficEngine,
+        WorkloadConfig, WorkloadError,
+    };
 }

@@ -32,6 +32,7 @@ mod workload_bias {
                 max_level: max,
                 max_span: 1,
                 aggregated_bias: bias,
+                level_zipf: None,
                 seed: 31,
             },
         );

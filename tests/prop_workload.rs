@@ -1,0 +1,203 @@
+//! Property-based tests of the workload generators: kind-frequency
+//! convergence, bit-reproducibility per seed, and query validity against
+//! the grid, on randomly generated mixes, configurations and chunkings.
+
+use aggcache::gen::fig4_spec;
+use aggcache::prelude::*;
+use proptest::prelude::*;
+// Our `Strategy` enum (from the prelude glob) shadows proptest's trait of
+// the same name; re-import the trait under an alias.
+use proptest::strategy::Strategy as PropStrategy;
+use std::sync::Arc;
+
+/// Strategy: a random valid query mix (normalized positive weights).
+fn arb_mix() -> impl PropStrategy<Value = QueryMix> {
+    (0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0, 0.05f64..1.0).prop_map(|(a, b, c, d)| {
+        let sum = a + b + c + d;
+        // Make the four probabilities sum to 1 exactly: the last takes
+        // the float remainder so `validate()` holds bit-exactly.
+        let (dd, ru, px) = (a / sum, b / sum, c / sum);
+        QueryMix {
+            drill_down: dd,
+            roll_up: ru,
+            proximity: px,
+            random: 1.0 - dd - ru - px,
+        }
+    })
+}
+
+/// Strategy: a random small grid (1-3 dims, 1-3 hierarchy levels each).
+fn arb_grid() -> impl PropStrategy<Value = Arc<ChunkGrid>> {
+    let dim = (1u8..=3).prop_flat_map(|h| {
+        proptest::collection::vec(1u32..=3, h as usize).prop_map(move |fanouts| {
+            let mut cards = vec![1u32];
+            for f in fanouts {
+                let last = *cards.last().unwrap();
+                cards.push(last * f + 1);
+            }
+            let mut chunks: Vec<u32> = cards
+                .iter()
+                .enumerate()
+                .map(|(l, &c)| c.min(1 + l as u32))
+                .collect();
+            for l in 1..chunks.len() {
+                chunks[l] = chunks[l].max(chunks[l - 1]);
+            }
+            (cards, chunks)
+        })
+    });
+    proptest::collection::vec(dim, 1..=3).prop_map(|dims| {
+        let mut spec = SyntheticSpec::new();
+        for (i, (cards, chunks)) in dims.into_iter().enumerate() {
+            spec = spec.dim(format!("d{i}"), cards, chunks);
+        }
+        spec.build_grid()
+    })
+}
+
+/// Checks one query against the grid: its group-by must be answerable
+/// from data at `max_level`, and its chunk list non-empty, deduplicated
+/// and within the group-by's chunk count.
+fn assert_query_valid(grid: &ChunkGrid, max_level: &Level, q: &Query) {
+    let level = grid.schema().lattice().level_of(q.gb);
+    for (d, (&l, &max)) in level.iter().zip(max_level.iter()).enumerate() {
+        assert!(
+            l <= max,
+            "dim {d}: query level {l} below the data level {max}"
+        );
+    }
+    assert!(!q.chunks.is_empty(), "query covers no chunks");
+    let n = grid.n_chunks(q.gb);
+    let mut seen = std::collections::BTreeSet::new();
+    for &c in &q.chunks {
+        assert!(c < n, "chunk {c} out of bounds (gb {:?} has {n})", q.gb);
+        assert!(seen.insert(c), "duplicate chunk {c} in query");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generated kind frequencies converge to the configured mix.
+    /// Lattice-border fallbacks convert drill-downs and roll-ups into
+    /// each other (never into proximity), so the pair is checked as a
+    /// sum; proximity and random are never substituted on multi-level
+    /// grids and must match individually.
+    #[test]
+    fn kind_frequencies_converge_to_mix(mix in arb_mix(), seed in 0u64..1_000_000) {
+        let grid = fig4_spec().build_grid();
+        let max = grid.schema().base_level();
+        let mut stream = QueryStream::new(grid, WorkloadConfig {
+            mix,
+            level_zipf: None,
+            seed,
+            ..WorkloadConfig::paper(max, seed)
+        });
+        const N: usize = 2_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..N {
+            let (_, kind) = stream.next_with_kind();
+            *counts.entry(kind).or_insert(0usize) += 1;
+        }
+        let freq = |k: QueryKind| *counts.get(&k).unwrap_or(&0) as f64 / N as f64;
+        let tol = 0.07; // ~6 binomial sigma at N=2000
+        prop_assert!((freq(QueryKind::Proximity) - mix.proximity).abs() < tol,
+            "proximity {} vs {}", freq(QueryKind::Proximity), mix.proximity);
+        prop_assert!((freq(QueryKind::Random) - mix.random).abs() < tol,
+            "random {} vs {}", freq(QueryKind::Random), mix.random);
+        let pair = freq(QueryKind::DrillDown) + freq(QueryKind::RollUp);
+        prop_assert!((pair - (mix.drill_down + mix.roll_up)).abs() < tol,
+            "drill+roll {pair} vs {}", mix.drill_down + mix.roll_up);
+    }
+
+    /// A stream is a pure function of its seed: two instances with the
+    /// same configuration produce identical queries and kinds.
+    #[test]
+    fn streams_are_bit_reproducible_per_seed(
+        seed in 0u64..u64::MAX,
+        zipf in (proptest::bool::ANY, 0.0f64..3.0),
+    ) {
+        let grid = fig4_spec().build_grid();
+        let max = grid.schema().base_level();
+        let cfg = WorkloadConfig {
+            level_zipf: zipf.0.then_some(zipf.1),
+            ..WorkloadConfig::paper(max, seed)
+        };
+        let mut a = QueryStream::new(grid.clone(), cfg.clone());
+        let mut b = QueryStream::new(grid, cfg);
+        for _ in 0..300 {
+            prop_assert_eq!(a.next_with_kind(), b.next_with_kind());
+        }
+    }
+
+    /// The multi-tenant merge is a pure function of its seed too: same
+    /// arrivals (tenant, kind, query and bit-exact virtual times).
+    #[test]
+    fn traffic_engine_is_bit_reproducible_per_seed(
+        seed in 0u64..u64::MAX,
+        tenants in 1u32..6,
+        skew in 0.0f64..2.0,
+    ) {
+        let grid = fig4_spec().build_grid();
+        let max = grid.schema().base_level();
+        let cfg = MultiTenantConfig::contended(tenants, skew, max, seed);
+        let mut a = TrafficEngine::new(grid.clone(), &cfg).unwrap();
+        let mut b = TrafficEngine::new(grid, &cfg).unwrap();
+        for _ in 0..200 {
+            let (x, y) = (a.next_arrival(), b.next_arrival());
+            prop_assert_eq!(x.tenant, y.tenant);
+            prop_assert_eq!(x.kind, y.kind);
+            prop_assert_eq!(&x.query, &y.query);
+            prop_assert_eq!(x.vtime_ms.to_bits(), y.vtime_ms.to_bits());
+        }
+    }
+
+    /// Every generated query is valid for its grid: an answerable
+    /// group-by and in-bounds, deduplicated, non-empty chunk lists —
+    /// across random grids, spans, biases and Zipf settings.
+    #[test]
+    fn queries_stay_within_grid_bounds(
+        grid in arb_grid(),
+        mix in arb_mix(),
+        max_span in 1u32..5,
+        bias in 0.2f64..1.5,
+        zipf in (proptest::bool::ANY, 0.0f64..3.0),
+        seed in 0u64..u64::MAX,
+    ) {
+        let max = grid.schema().base_level();
+        let mut stream = QueryStream::try_new(grid.clone(), WorkloadConfig {
+            mix,
+            max_level: max.clone(),
+            max_span,
+            aggregated_bias: bias,
+            level_zipf: zipf.0.then_some(zipf.1),
+            seed,
+        }).unwrap();
+        for _ in 0..150 {
+            let (q, _) = stream.next_with_kind();
+            assert_query_valid(&grid, &max, &q);
+        }
+    }
+
+    /// Multi-tenant arrivals inherit per-query validity and are globally
+    /// time-ordered with strictly positive inter-arrival virtual times.
+    #[test]
+    fn traffic_engine_arrivals_are_valid_and_ordered(
+        grid in arb_grid(),
+        tenants in 1u32..5,
+        skew in 0.0f64..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let max = grid.schema().base_level();
+        let cfg = MultiTenantConfig::contended(tenants, skew, max.clone(), seed);
+        let mut engine = TrafficEngine::new(grid.clone(), &cfg).unwrap();
+        let mut last = 0.0f64;
+        for _ in 0..150 {
+            let a = engine.next_arrival();
+            prop_assert!(a.tenant < tenants);
+            prop_assert!(a.vtime_ms.is_finite() && a.vtime_ms >= last);
+            last = a.vtime_ms;
+            assert_query_valid(&grid, &max, &a.query);
+        }
+    }
+}
