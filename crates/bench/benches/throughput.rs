@@ -24,7 +24,7 @@
 
 use aggcache_bench::rig::{apb_dataset, backend_for, MB};
 use aggcache_cache::PolicyKind;
-use aggcache_core::{CacheManager, Query, Strategy, PARALLEL_MIN_COST};
+use aggcache_core::{CacheManager, Query, QueryRequest, Strategy, PARALLEL_MIN_COST};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::time::Instant;
@@ -145,11 +145,15 @@ fn profile_report(
         let mut mgr = manager_with_threads(dataset, cache_bytes, threads);
         // Warm-up settles admissions so every profiled iteration sees the
         // same cache version (mirrors the timed benchmark).
-        mgr.execute_batch(queries).expect("batch in cache");
+        mgr.run_batch(&QueryRequest::batch(queries))
+            .expect("batch in cache");
         mgr.reset_session();
         let start = Instant::now();
         for _ in 0..iters {
-            black_box(mgr.execute_batch(queries).expect("batch in cache"));
+            black_box(
+                mgr.run_batch(&QueryRequest::batch(queries))
+                    .expect("batch in cache"),
+            );
         }
         let wall_ns = start.elapsed().as_nanos() as u64;
         let s = mgr.session();
@@ -196,12 +200,19 @@ fn bench_throughput(c: &mut Criterion) {
         let mut mgr = manager_with_threads(&dataset, cache_bytes, threads);
         // Warm-up: lets any admissions settle so the measured iterations
         // all see the same cache version.
-        mgr.execute_batch(&queries).expect("batch in cache");
+        mgr.run_batch(&QueryRequest::batch(&queries))
+            .expect("batch in cache");
         let v0 = mgr.version();
-        mgr.execute_batch(&queries).expect("batch in cache");
+        mgr.run_batch(&QueryRequest::batch(&queries))
+            .expect("batch in cache");
         assert_eq!(v0, mgr.version(), "steady state must not mutate the cache");
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| black_box(mgr.execute_batch(&queries).expect("batch in cache")));
+            b.iter(|| {
+                black_box(
+                    mgr.run_batch(&QueryRequest::batch(&queries))
+                        .expect("batch in cache"),
+                )
+            });
         });
     }
     group.finish();

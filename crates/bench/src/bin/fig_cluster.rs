@@ -1,0 +1,40 @@
+//! Cluster sweep (beyond the paper): node count × replication × failure
+//! rate vs aggregate hit ratio, virtual tail latency and bytes on the
+//! wire, at a fixed per-node cache budget.
+//!
+//! `--smoke` runs the CI configuration (tiny dataset, short streams);
+//! `--json-out <path>` / `--csv-out <path>` write the virtual-time sweep
+//! results — bit-identical across runs and `--threads` settings.
+use aggcache_bench::args::Args;
+use aggcache_bench::experiments::cluster;
+
+fn main() {
+    let a = Args::parse();
+    let d = if a.flag("smoke") {
+        cluster::Opts::smoke()
+    } else {
+        cluster::Opts::default()
+    };
+    let opts = cluster::Opts {
+        tuples: a.get("tuples", d.tuples),
+        seed: a.get("seed", d.seed),
+        queries: a.get("queries", d.queries),
+        workload_seed: a.get("workload-seed", d.workload_seed),
+        node_cache_bytes: a.get("node-cache-bytes", d.node_cache_bytes),
+        batch: a.get("batch", d.batch),
+        threads: a.threads(),
+    };
+    let results = cluster::run_experiment(opts);
+    println!("{}", cluster::render(&results));
+
+    if let Some(path) = a.value("json-out") {
+        std::fs::write(path, cluster::to_json(opts, &results))
+            .unwrap_or_else(|e| panic!("writing JSON to {path}: {e}"));
+        eprintln!("json: {} cells -> {path}", results.cells.len());
+    }
+    if let Some(path) = a.value("csv-out") {
+        std::fs::write(path, cluster::to_csv(&results))
+            .unwrap_or_else(|e| panic!("writing CSV to {path}: {e}"));
+        eprintln!("csv: {} cells -> {path}", results.cells.len());
+    }
+}

@@ -2,7 +2,7 @@
 //! reproduction report (used to populate EXPERIMENTS.md).
 use aggcache_bench::args::Args;
 use aggcache_bench::experiments::{
-    comparison, faults, policy, table1, table2, table3, tenants, unit_a, unit_b,
+    cluster, comparison, faults, policy, table1, table2, table3, tenants, unit_a, unit_b,
 };
 
 fn main() {
@@ -81,4 +81,13 @@ fn main() {
         ..Default::default()
     });
     println!("{}", tenants::render(&t));
+
+    // Beyond the paper: the sharded cache tier. Scaled down — the sweep
+    // runs one stream per (nodes, replication, failure rate) cell.
+    let cl = cluster::run_experiment(cluster::Opts {
+        tuples: tuples.min(60_000),
+        seed,
+        ..Default::default()
+    });
+    println!("{}", cluster::render(&cl));
 }

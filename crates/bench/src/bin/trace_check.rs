@@ -8,7 +8,7 @@
 use aggcache_bench::args::Args;
 use aggcache_obs::json::JsonValue;
 
-const KNOWN_KINDS: [&str; 16] = [
+const KNOWN_KINDS: [&str; 20] = [
     "probe_start",
     "chunk_lookup",
     "probe_end",
@@ -24,6 +24,10 @@ const KNOWN_KINDS: [&str; 16] = [
     "count_update",
     "cost_update",
     "shard_agg",
+    "remote_serve",
+    "handoff",
+    "node_down",
+    "node_up",
     "query_done",
 ];
 
@@ -65,6 +69,9 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         "group_boost" => &["chunks", "amount"],
         "count_update" | "cost_update" => &["gb", "chunk", "writes", "evict"],
         "shard_agg" => &["phase", "shard", "shards", "cells", "wall_ns"],
+        "remote_serve" => &["gb", "chunk", "from_node", "to_node", "bytes", "virtual_ms"],
+        "handoff" => &["gb", "chunk", "from_node", "to_node", "bytes"],
+        "node_down" | "node_up" => &["node"],
         "query_done" => &[
             "query",
             "tenant",

@@ -211,7 +211,7 @@ fn run_preload_variant(
     );
     for _ in 0..opts.queries {
         let (q, _) = stream.next_with_kind();
-        mgr.execute(&q).unwrap();
+        mgr.run(&(&q).into()).unwrap();
     }
     let s = mgr.session();
     (100.0 * s.complete_hit_ratio(), s.avg_ms())

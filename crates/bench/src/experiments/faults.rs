@@ -169,7 +169,7 @@ pub fn run_stream_faulty(
     let mut total_ms = 0.0f64;
     for _ in 0..opts.queries {
         let (query, _) = stream.next_with_kind();
-        match mgr.execute(&query) {
+        match mgr.run(&(&query).into()) {
             Ok(result) => {
                 let m = result.metrics;
                 r.answered += 1;

@@ -1,6 +1,7 @@
 //! One module per paper table/figure, plus the two unit experiments.
 
 pub mod ablation;
+pub mod cluster;
 pub mod comparison;
 pub mod faults;
 pub mod policy;

@@ -12,7 +12,7 @@ use crate::report::{f3, MinMaxAvg, Table};
 use crate::rig::{apb_dataset, manager_for, strategy_name};
 use aggcache_cache::{Origin, PolicyKind};
 use aggcache_chunks::ChunkKey;
-use aggcache_core::{CacheManager, Strategy};
+use aggcache_core::{CacheManager, LookupOutcome, Strategy};
 use aggcache_gen::Dataset;
 use std::time::Instant;
 
@@ -54,7 +54,7 @@ fn measure(mgr: &CacheManager, dataset: &Dataset, name: &'static str) -> AlgoRes
     for gb in lattice.iter_ids_under(dataset.fact_gb) {
         let key = ChunkKey::new(gb, 0);
         let t = Instant::now();
-        let (plan, stats) = mgr.lookup_chunk(key);
+        let LookupOutcome { plan, stats } = mgr.lookup_chunk(key);
         let elapsed = t.elapsed().as_secs_f64() * 1.0e6;
         // Budget-aborted ESMC lookups report as misses with huge node
         // counts; count them separately instead of polluting the stats.

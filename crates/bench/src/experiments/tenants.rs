@@ -180,7 +180,7 @@ pub fn run_cell(
     };
     let mut engine =
         TrafficEngine::new(dataset.grid.clone(), &cfg).expect("sweep configuration is valid");
-    let tagged = engine.tagged_queries(opts.queries);
+    let requests = engine.requests(opts.queries);
 
     let registry = Arc::new(MetricsRegistry::new());
     let mut mgr = CacheManager::builder()
@@ -192,19 +192,26 @@ pub fn run_cell(
         .build(backend_for(dataset))
         .expect("sweep configuration is valid");
     mgr.set_tracer(Some(registry.clone() as Arc<dyn Tracer>));
-    mgr.execute_batch_tagged(&tagged)
+    mgr.run_batch(&requests)
         .expect("fault-free backend answers everything");
 
-    let stats = registry.tenants();
-    let mut total = TenantStats::default();
-    for s in stats.values() {
-        total.queries += s.queries;
-        total.complete_hits += s.complete_hits;
-        total.chunks_hit += s.chunks_hit;
-        total.chunks_computed += s.chunks_computed;
-        total.chunks_missed += s.chunks_missed;
-        total.total_virtual_ms += s.total_virtual_ms;
-    }
+    // Borrowed view: no per-call clone of the whole tenant map. Scoped —
+    // the view holds the registry lock, which `virtual_histogram` below
+    // needs too.
+    let (total, per_tenant) = {
+        let stats = registry.tenants_view();
+        let mut total = TenantStats::default();
+        for (_, s) in stats.iter() {
+            total.queries += s.queries;
+            total.complete_hits += s.complete_hits;
+            total.chunks_hit += s.chunks_hit;
+            total.chunks_computed += s.chunks_computed;
+            total.chunks_missed += s.chunks_missed;
+            total.total_virtual_ms += s.total_virtual_ms;
+        }
+        let per_tenant: Vec<TenantOutcome> = stats.iter().map(|(t, s)| outcome(t, s)).collect();
+        (total, per_tenant)
+    };
     let all = registry
         .virtual_histogram("query_total")
         .unwrap_or_default();
@@ -222,7 +229,7 @@ pub fn run_cell(
             total.total_virtual_ms / total.queries as f64
         },
         p95_virtual_us: all.quantile(0.95).unwrap_or(0.0),
-        per_tenant: stats.iter().map(|(&t, s)| outcome(t, s)).collect(),
+        per_tenant,
     }
 }
 

@@ -170,7 +170,7 @@ pub fn run_stream_traced(
     for _ in 0..run.queries {
         let (query, _) = stream.next_with_kind();
         let result = mgr
-            .execute(&query)
+            .run(&(&query).into())
             .expect("stream stays within the fact level");
         let m = result.metrics;
         if m.complete_hit {

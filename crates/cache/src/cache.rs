@@ -438,6 +438,43 @@ impl ChunkCache {
         self.remove_internal(key.pack())
     }
 
+    /// Ownership-aware eviction: drains every resident chunk for which
+    /// `owned` returns `false`, returning the drained entries as
+    /// `(key, data, origin, benefit)` so the caller can hand them off to
+    /// their new owner (the cluster tier's key-slice handoff after a ring
+    /// membership change).
+    ///
+    /// Byte accounting, clock rings and the resident benefit mean are
+    /// maintained exactly as for [`ChunkCache::remove`]; pins do not
+    /// protect entries from an ownership drain (a handoff happens between
+    /// queries, never inside one). The drain order is ascending packed key
+    /// — deterministic regardless of the cache's insertion history.
+    pub fn evict_unowned(
+        &mut self,
+        mut owned: impl FnMut(ChunkKey) -> bool,
+    ) -> Vec<(ChunkKey, ChunkData, Origin, f64)> {
+        let mut stale: Vec<PackedChunkKey> = self
+            .map
+            .keys()
+            .copied()
+            .filter(|&packed| !owned(ChunkKey::unpack(packed)))
+            .collect();
+        stale.sort_unstable();
+        stale
+            .into_iter()
+            .filter_map(|packed| {
+                self.take_internal(packed).map(|entry| {
+                    (
+                        ChunkKey::unpack(packed),
+                        entry.data,
+                        entry.origin,
+                        entry.benefit,
+                    )
+                })
+            })
+            .collect()
+    }
+
     /// Iterates over the cached keys (arbitrary order).
     pub fn keys(&self) -> impl Iterator<Item = ChunkKey> + '_ {
         self.map.keys().map(|&packed| ChunkKey::unpack(packed))
@@ -521,9 +558,13 @@ impl ChunkCache {
     }
 
     fn remove_internal(&mut self, key: PackedChunkKey) -> bool {
-        let Some(entry) = self.map.remove(&key) else {
-            return false;
-        };
+        self.take_internal(key).is_some()
+    }
+
+    /// Removes an entry and returns it, maintaining byte accounting, the
+    /// resident benefit mean and the clock rings.
+    fn take_internal(&mut self, key: PackedChunkKey) -> Option<CachedChunk> {
+        let entry = self.map.remove(&key)?;
         self.used -= entry.bytes;
         // Keep the normalization mean over *resident* chunks: retire this
         // entry's contribution. The counter reset clears any accumulated
@@ -542,7 +583,7 @@ impl ChunkCache {
                 computed.remove(key);
             }
         }
-        true
+        Some(entry)
     }
 }
 

@@ -41,6 +41,7 @@ mod lookup;
 mod manager;
 mod metrics;
 mod query;
+mod request;
 mod storage;
 
 pub use cost::{CostTable, COST_INF, PARENT_NONE, PARENT_SELF};
@@ -50,9 +51,11 @@ pub use executor::{
     execute_plan, execute_plan_parallel, execute_plan_parallel_traced, PARALLEL_MIN_COST,
 };
 pub use lookup::{
-    esm, esmc, lookup, no_aggregation, vcm, vcmc, ComputationPlan, LookupStats, Strategy,
+    esm, esmc, lookup, no_aggregation, vcm, vcmc, ComputationPlan, LookupOutcome, LookupStats,
+    Strategy,
 };
 pub use manager::{CacheManager, CacheManagerBuilder, ManagerConfig, PreloadReport, QueryProbe};
 pub use metrics::{QueryMetrics, SessionMetrics};
 pub use query::{Query, QueryResult, ValueQuery};
+pub use request::{Consistency, ExecOutcome, QueryRequest, RemoteMetrics, Routing};
 pub use storage::TableKind;

@@ -44,6 +44,33 @@ pub struct LookupStats {
     pub nodes_visited: u64,
 }
 
+/// The outcome of one chunk lookup: the plan (when the chunk is answerable
+/// from the cache) plus the lookup statistics.
+///
+/// A named struct rather than a tuple so new per-lookup fields (e.g. remote
+/// ownership information in the cluster tier) can be added without another
+/// breaking signature change.
+#[derive(Debug, Default, Clone)]
+pub struct LookupOutcome {
+    /// How to obtain the chunk from the cache, or `None` on a miss.
+    pub plan: Option<ComputationPlan>,
+    /// Lookup statistics (nodes visited).
+    pub stats: LookupStats,
+}
+
+impl LookupOutcome {
+    /// Whether the chunk is answerable from the cache (directly or by
+    /// aggregation).
+    pub fn answerable(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Whether the chunk itself is resident (no aggregation needed).
+    pub fn direct_hit(&self) -> bool {
+        self.plan.as_ref().is_some_and(|p| p.direct_hit)
+    }
+}
+
 /// A successful lookup: how to obtain the chunk from the cache.
 ///
 /// `leaves` are the cached chunks (possibly at several different group-by

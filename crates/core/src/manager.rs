@@ -1,10 +1,11 @@
 use crate::error::{CacheError, ConfigError};
 use crate::executor::execute_plan_parallel_traced;
-use crate::lookup::{esm, lookup, ComputationPlan, LookupStats, Strategy};
+use crate::lookup::{esm, lookup, ComputationPlan, LookupOutcome, LookupStats, Strategy};
+use crate::request::{ExecOutcome, QueryRequest};
 use crate::{CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
 use aggcache_cache::{AdmissionKind, ChunkCache, Origin, PolicyKind};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
-use aggcache_obs::{Event, LookupOutcome, Tracer};
+use aggcache_obs::{Event, LookupOutcome as ChunkLookupKind, Tracer};
 use aggcache_schema::{GroupById, Level, SchemaError};
 use aggcache_store::{BackendSource, StoreError};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -504,9 +505,10 @@ impl CacheManager {
     }
 
     /// Runs one cache lookup without executing anything — the probe used by
-    /// the paper's Table 1 lookup-time experiment. Returns the plan (if the
-    /// chunk is answerable) together with the lookup statistics.
-    pub fn lookup_chunk(&self, key: ChunkKey) -> (Option<ComputationPlan>, LookupStats) {
+    /// the paper's Table 1 lookup-time experiment and by the cluster tier's
+    /// cooperative peer probes. Returns the plan (if the chunk is
+    /// answerable) together with the lookup statistics.
+    pub fn lookup_chunk(&self, key: ChunkKey) -> LookupOutcome {
         let (counts, costs) = match &self.tables {
             Tables::Counts(t) => (Some(t), None),
             Tables::Costs(t) => (Some(t.counts()), Some(t)),
@@ -522,7 +524,7 @@ impl CacheManager {
             key,
             &mut stats,
         );
-        (plan, stats)
+        LookupOutcome { plan, stats }
     }
 
     /// Inserts a chunk (fetched or computed elsewhere) into the cache,
@@ -617,6 +619,27 @@ impl CacheManager {
         } else {
             0
         }
+    }
+
+    /// Ownership-aware eviction: removes every resident chunk for which
+    /// `owned` returns `false`, propagating count/cost-table updates, and
+    /// returns the drained entries so the caller can hand them to their
+    /// new owner (the cluster tier's key-slice handoff after a ring
+    /// membership change). An empty drain leaves the cache version
+    /// untouched, so probes stay valid.
+    pub fn evict_unowned(
+        &mut self,
+        owned: impl FnMut(ChunkKey) -> bool,
+    ) -> Vec<(ChunkKey, ChunkData, Origin, f64)> {
+        let drained = self.cache.evict_unowned(owned);
+        if !drained.is_empty() {
+            self.version += 1;
+            for (key, ..) in &drained {
+                let writes = self.tables.on_evict(*key);
+                self.trace_table_update(*key, writes, true);
+            }
+        }
+        drained
     }
 
     /// Pre-loads the cache per the two-level policy: the group-by with the
@@ -729,12 +752,12 @@ impl CacheManager {
         let mut missing: Vec<u64> = Vec::new();
         for &chunk in &query.chunks {
             let key = ChunkKey::new(query.gb, chunk);
-            let (plan, stats) = self.lookup_chunk(key);
+            let LookupOutcome { plan, stats } = self.lookup_chunk(key);
             if let Some(tracer) = &self.tracer {
                 let outcome = match &plan {
-                    Some(p) if p.direct_hit => LookupOutcome::Hit,
-                    Some(_) => LookupOutcome::Computable,
-                    None => LookupOutcome::Miss,
+                    Some(p) if p.direct_hit => ChunkLookupKind::Hit,
+                    Some(_) => ChunkLookupKind::Computable,
+                    None => ChunkLookupKind::Miss,
                 };
                 tracer.emit(&Event::ChunkLookup {
                     query: trace_id,
@@ -1073,15 +1096,52 @@ impl CacheManager {
         Ok(())
     }
 
+    /// Executes one [`QueryRequest`] through the active cache: one probe,
+    /// one apply. The request's routing/consistency hints are cluster-tier
+    /// concerns and are ignored here (a single manager *is* its only
+    /// node); the tenant tag feeds the obs layer's per-tenant breakdowns.
+    ///
+    /// The returned [`ExecOutcome`] carries the same data and metrics as
+    /// the legacy `execute*` quartet, plus an all-zero
+    /// [`crate::RemoteMetrics`].
+    pub fn run(&mut self, request: &QueryRequest) -> Result<ExecOutcome, CacheError> {
+        let probe = self.probe_as(&request.query, request.tenant);
+        self.apply(&request.query, probe).map(ExecOutcome::from)
+    }
+
+    /// Executes a batch of [`QueryRequest`]s: the probe phase runs for all
+    /// requests concurrently across [`ManagerConfig::threads`] scoped
+    /// threads, then the apply phase runs sequentially in submission order
+    /// (the cache is single-writer, like the paper's middle tier).
+    ///
+    /// Probes invalidated by an earlier request's admissions/evictions are
+    /// transparently re-probed during their apply, so the returned
+    /// outcomes, the final cache contents and every virtual-time metric
+    /// are **identical** to running [`CacheManager::run`] over the
+    /// requests in a loop — batching changes wall-clock time only.
+    pub fn run_batch(&mut self, requests: &[QueryRequest]) -> Result<Vec<ExecOutcome>, CacheError> {
+        let tagged: Vec<(u32, &Query)> = requests.iter().map(|r| (r.tenant, &r.query)).collect();
+        Ok(self
+            .execute_batch_inner(&tagged)?
+            .into_iter()
+            .map(ExecOutcome::from)
+            .collect())
+    }
+
     /// Executes a query through the active cache: one probe, one apply.
+    #[deprecated(since = "0.2.0", note = "use CacheManager::run with a QueryRequest")]
     pub fn execute(&mut self, query: &Query) -> Result<QueryResult, CacheError> {
         let probe = self.probe(query);
         self.apply(query, probe)
     }
 
-    /// Like [`CacheManager::execute`], attributing the query to `tenant`
-    /// for the obs layer's per-tenant breakdowns. Results, cache state and
-    /// virtual-time metrics are identical to [`CacheManager::execute`].
+    /// Executes a query attributed to `tenant` for the obs layer's
+    /// per-tenant breakdowns. Results, cache state and virtual-time
+    /// metrics are tenant-independent.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use CacheManager::run with QueryRequest::new(query).tenant(t)"
+    )]
     pub fn execute_as(&mut self, query: &Query, tenant: u32) -> Result<QueryResult, CacheError> {
         let probe = self.probe_as(query, tenant);
         self.apply(query, probe)
@@ -1099,6 +1159,10 @@ impl CacheManager {
     /// in a loop — batching changes wall-clock time only. On a
     /// read-mostly stream (warm cache, admissions refused) no re-probe
     /// happens and every lookup runs in parallel.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use CacheManager::run_batch with QueryRequests"
+    )]
     pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, CacheError> {
         let tagged: Vec<(u32, &Query)> = queries.iter().map(|q| (0, q)).collect();
         self.execute_batch_inner(&tagged)
@@ -1109,6 +1173,10 @@ impl CacheManager {
     /// but each query's closing [`Event::QueryDone`] carries its tenant
     /// tag. The multi-tenant traffic engine drives the manager through
     /// this entry point with its merged virtual-time arrival order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use CacheManager::run_batch with tenant-tagged QueryRequests"
+    )]
     pub fn execute_batch_tagged(
         &mut self,
         queries: &[(u32, Query)],
@@ -1174,7 +1242,7 @@ impl CacheManager {
             }));
         }
         let chunk_query = query.to_chunk_query(&self.grid.clone());
-        let result = self.execute(&chunk_query)?;
+        let result = self.run(&QueryRequest::new(chunk_query))?;
         Ok(QueryResult {
             data: query.filter(&result.data),
             metrics: result.metrics,
@@ -1279,7 +1347,7 @@ mod tests {
 
     fn run_and_check(mgr: &mut CacheManager, q: &Query) -> QueryMetrics {
         let expected = oracle(mgr, q);
-        let mut r = mgr.execute(q).unwrap();
+        let mut r = mgr.run(&(q).into()).unwrap();
         r.data.sort_by_coords();
         assert_eq!(r.data, expected, "wrong answer for {q:?}");
         r.metrics
@@ -1417,7 +1485,7 @@ mod tests {
         // Everything is now a complete hit.
         let top = mgr.grid().schema().lattice().top();
         let m = mgr
-            .execute(&Query::full_group_by(&mgr.grid().clone(), top))
+            .run(&Query::full_group_by(&mgr.grid().clone(), top).into())
             .unwrap();
         assert!(m.metrics.complete_hit);
     }
@@ -1442,8 +1510,8 @@ mod tests {
     fn session_metrics_accumulate() {
         let mut mgr = manager(Strategy::Vcm);
         let base = mgr.grid().schema().lattice().base();
-        let _ = mgr.execute(&Query::new(base, vec![0])).unwrap();
-        let _ = mgr.execute(&Query::new(base, vec![0])).unwrap();
+        let _ = mgr.run(&Query::new(base, vec![0]).into()).unwrap();
+        let _ = mgr.run(&Query::new(base, vec![0]).into()).unwrap();
         assert_eq!(mgr.session().queries, 2);
         assert_eq!(mgr.session().complete_hits, 1);
         mgr.reset_session();
@@ -1479,10 +1547,10 @@ mod tests {
             .build(backend)
             .unwrap();
         let grid = mgr.grid().clone();
-        mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+        mgr.run(&Query::full_group_by(&grid, lattice.base()).into())
             .unwrap();
         let m = mgr
-            .execute(&Query::full_group_by(&grid, top))
+            .run(&Query::full_group_by(&grid, top).into())
             .unwrap()
             .metrics;
         assert_eq!(m.chunks_demoted, 1, "plan should be demoted");
@@ -1505,10 +1573,10 @@ mod tests {
             .optimizer(false)
             .build(backend2)
             .unwrap();
-        mgr2.execute(&Query::full_group_by(&grid, lattice.base()))
+        mgr2.run(&Query::full_group_by(&grid, lattice.base()).into())
             .unwrap();
         let m2 = mgr2
-            .execute(&Query::full_group_by(&grid, top))
+            .run(&Query::full_group_by(&grid, top).into())
             .unwrap()
             .metrics;
         assert_eq!(m2.chunks_demoted, 0);
@@ -1575,8 +1643,8 @@ mod tests {
         let lattice = dense.grid().schema().lattice().clone();
         for gb in lattice.iter_ids() {
             let q = Query::new(gb, vec![0]);
-            let a = dense.execute(&q).unwrap();
-            let b = sparse.execute(&q).unwrap();
+            let a = dense.run(&(&q).into()).unwrap();
+            let b = sparse.run(&(&q).into()).unwrap();
             assert_eq!(a.data, b.data);
             assert_eq!(a.metrics.complete_hit, b.metrics.complete_hit);
         }
@@ -1613,9 +1681,11 @@ mod tests {
                     .iter_ids()
                     .map(|gb| Query::full_group_by(&grid, gb))
                     .collect();
-                let seq_results: Vec<QueryResult> =
-                    queries.iter().map(|q| seq.execute(q).unwrap()).collect();
-                let bat_results = bat.execute_batch(&queries).unwrap();
+                let seq_results: Vec<ExecOutcome> = queries
+                    .iter()
+                    .map(|q| seq.run(&(q).into()).unwrap())
+                    .collect();
+                let bat_results = bat.run_batch(&QueryRequest::batch(&queries)).unwrap();
                 assert_eq!(seq_results.len(), bat_results.len());
                 for (a, b) in seq_results.iter().zip(&bat_results) {
                     assert_eq!(a.data, b.data, "{strategy:?} threads={threads}");
@@ -1641,12 +1711,12 @@ mod tests {
         let probe = mgr.probe(&q);
         assert_eq!(mgr.version(), 0, "probing must not mutate");
         assert!(!probe.is_complete_hit());
-        mgr.execute(&q).unwrap();
+        mgr.run(&(&q).into()).unwrap();
         let after_fetch = mgr.version();
         assert!(after_fetch > 0, "admission must bump the version");
         // A pure direct-hit query mutates nothing (clock touches are not
         // probe-relevant).
-        mgr.execute(&q).unwrap();
+        mgr.run(&(&q).into()).unwrap();
         assert_eq!(mgr.version(), after_fetch);
         let key = ChunkKey::new(base, 0);
         mgr.evict_chunk(key);
@@ -1663,7 +1733,7 @@ mod tests {
         let q = Query::new(base, vec![0, 1]);
         let stale = mgr.probe(&q);
         // Mutate between probe and apply: the probe's version is now old.
-        mgr.execute(&Query::new(base, vec![0])).unwrap();
+        mgr.run(&Query::new(base, vec![0]).into()).unwrap();
         assert_ne!(stale.version(), mgr.version());
         let r = mgr.apply(&q, stale).unwrap();
         // A fresh probe sees chunk 0 cached: exactly one miss, not two.
@@ -1691,9 +1761,9 @@ mod tests {
             .unwrap();
         // Chunk 3 is empty; first query fetches it, second hits the cached
         // empty chunk.
-        let m1 = mgr.execute(&Query::new(base, vec![3])).unwrap().metrics;
+        let m1 = mgr.run(&Query::new(base, vec![3]).into()).unwrap().metrics;
         assert_eq!(m1.chunks_missed, 1);
-        let m2 = mgr.execute(&Query::new(base, vec![3])).unwrap().metrics;
+        let m2 = mgr.run(&Query::new(base, vec![3]).into()).unwrap().metrics;
         assert!(m2.complete_hit);
         assert_eq!(m2.chunks_hit, 1);
     }
@@ -1797,7 +1867,7 @@ mod tests {
             expected.append(&data);
         }
         expected.sort_by_coords();
-        let mut r = mgr.execute(&Query::full_group_by(&grid, top)).unwrap();
+        let mut r = mgr.run(&Query::full_group_by(&grid, top).into()).unwrap();
         r.data.sort_by_coords();
         assert_eq!(r.data, expected, "degraded answer is still correct");
         assert_eq!(r.metrics.chunks_degraded, 1);
@@ -1812,7 +1882,7 @@ mod tests {
         // The degraded chunk was admitted: the next query is a direct hit
         // and no longer touches the backend.
         let m2 = mgr
-            .execute(&Query::full_group_by(&grid, top))
+            .run(&Query::full_group_by(&grid, top).into())
             .unwrap()
             .metrics;
         assert!(m2.complete_hit);
@@ -1823,7 +1893,7 @@ mod tests {
     fn cold_cache_outage_returns_backend_unavailable() {
         let mut mgr = down_manager(Strategy::Vcmc, 3);
         let base = mgr.grid().schema().lattice().base();
-        match mgr.execute(&Query::new(base, vec![0, 1])).unwrap_err() {
+        match mgr.run(&Query::new(base, vec![0, 1]).into()).unwrap_err() {
             CacheError::BackendUnavailable { gb, chunks } => {
                 assert_eq!(gb, base);
                 assert_eq!(chunks, vec![0, 1]);
@@ -1842,7 +1912,7 @@ mod tests {
         seed_base(&mut mgr);
         let grid = mgr.grid().clone();
         let top = grid.schema().lattice().top();
-        mgr.execute(&Query::full_group_by(&grid, top)).unwrap();
+        mgr.run(&Query::full_group_by(&grid, top).into()).unwrap();
         let events = tracer.take();
         let kinds: Vec<&'static str> = events.iter().map(|e| e.kind()).collect();
         for expected in ["fetch_retry", "fetch_failed", "degraded_serve"] {
@@ -1865,9 +1935,9 @@ mod tests {
             .unwrap();
         let grid = mgr.grid().clone();
         let lattice = grid.schema().lattice().clone();
-        mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+        mgr.run(&Query::full_group_by(&grid, lattice.base()).into())
             .unwrap();
-        mgr.execute(&Query::full_group_by(&grid, lattice.top()))
+        mgr.run(&Query::full_group_by(&grid, lattice.top()).into())
             .unwrap();
         let events = tracer.take();
         let kinds: Vec<&'static str> = events.iter().map(|e| e.kind()).collect();
@@ -1937,8 +2007,8 @@ mod tests {
             .map(|gb| Query::full_group_by(&grid, gb))
             .collect();
         for q in &queries {
-            let a = plain.execute(q).unwrap();
-            let b = traced.execute(q).unwrap();
+            let a = plain.run(&(q).into()).unwrap();
+            let b = traced.run(&(q).into()).unwrap();
             assert_eq!(a.data, b.data);
             assert_eq!(
                 a.metrics.total_ms().to_bits(),

@@ -1,0 +1,240 @@
+//! The unified execution API: one request type and one outcome type for
+//! single-node, multi-tenant and clustered execution.
+//!
+//! [`QueryRequest`] replaces the accreted `execute` / `execute_as` /
+//! `execute_batch` / `execute_batch_tagged` quartet with a single value
+//! carrying the query plus its tenant tag and routing/consistency hints.
+//! A plain [`crate::CacheManager`] ignores the hints (there is only one
+//! node); the cluster tier interprets them.
+
+use aggcache_chunks::ChunkData;
+
+use crate::{Query, QueryMetrics, QueryResult};
+
+/// Where a clustered request may be executed.
+///
+/// Ignored by a single [`crate::CacheManager`]; interpreted by the cluster
+/// tier's router.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Route each chunk to its ring owner (the default).
+    #[default]
+    Owner,
+    /// Pin the whole query to one node (ownership ignored). Useful for
+    /// experiments isolating a node; falls back to [`Routing::Owner`] when
+    /// the pinned node is down.
+    Node(u32),
+}
+
+/// How far a clustered lookup may reach on a local miss.
+///
+/// Ignored by a single [`crate::CacheManager`]; interpreted by the cluster
+/// tier.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// On a local miss, probe peer nodes before falling back to the
+    /// backend (the default — the distributed analogue of the paper's
+    /// virtual-count lookup).
+    #[default]
+    Cooperative,
+    /// Answer from the routed node's cache and backend only — N
+    /// independent caches, the baseline cooperative lookup is measured
+    /// against.
+    LocalOnly,
+}
+
+/// One query submission: the query itself plus execution context — the
+/// tenant it is attributed to and routing/consistency hints for the
+/// cluster tier.
+///
+/// Built with [`QueryRequest::new`] and chained setters:
+///
+/// ```ignore
+/// let req = QueryRequest::new(query).tenant(3).consistency(Consistency::LocalOnly);
+/// let out = manager.run(&req)?;
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The chunk-granular query.
+    pub query: Query,
+    /// The tenant the query is attributed to (obs-layer breakdowns only;
+    /// results and virtual time are tenant-independent).
+    pub tenant: u32,
+    /// Cluster routing hint.
+    pub routing: Routing,
+    /// Cluster consistency hint.
+    pub consistency: Consistency,
+}
+
+impl QueryRequest {
+    /// A request with default context: tenant 0, owner routing,
+    /// cooperative consistency.
+    pub fn new(query: Query) -> Self {
+        Self {
+            query,
+            tenant: 0,
+            routing: Routing::default(),
+            consistency: Consistency::default(),
+        }
+    }
+
+    /// Sets the tenant tag.
+    pub fn tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the routing hint.
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the consistency hint.
+    pub fn consistency(mut self, consistency: Consistency) -> Self {
+        self.consistency = consistency;
+        self
+    }
+
+    /// Wraps plain queries into default-context requests (tenant 0, owner
+    /// routing) — the batch analogue of [`QueryRequest::from`].
+    pub fn batch(queries: &[Query]) -> Vec<QueryRequest> {
+        queries.iter().map(Self::from).collect()
+    }
+}
+
+impl From<Query> for QueryRequest {
+    fn from(query: Query) -> Self {
+        Self::new(query)
+    }
+}
+
+impl From<&Query> for QueryRequest {
+    fn from(query: &Query) -> Self {
+        Self::new(query.clone())
+    }
+}
+
+/// Remote-execution accounting for one request: message hops and bytes
+/// shipped between nodes, with their modeled virtual cost.
+///
+/// All zeros for a single [`crate::CacheManager`] and for a 1-node cluster
+/// — which is what keeps the 1-node collapse bit-identical to the
+/// non-clustered pipeline. Deliberately kept *outside* [`QueryMetrics`]:
+/// `QueryMetrics::total_ms` remains exactly the sum of its four local
+/// virtual components (an invariant `trace_check` enforces), and the
+/// cluster-level end-to-end time is [`ExecOutcome::total_virtual_ms`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct RemoteMetrics {
+    /// Peer probe round trips performed on behalf of this request.
+    pub probe_hops: u64,
+    /// Peer serve round trips (a peer answered a chunk).
+    pub serve_hops: u64,
+    /// Payload bytes shipped between nodes (serves and replication).
+    pub bytes_on_wire: u64,
+    /// Chunks answered by a peer instead of the backend.
+    pub remote_chunks: u64,
+    /// Virtual milliseconds charged by the message-cost model.
+    pub remote_virtual_ms: f64,
+}
+
+impl RemoteMetrics {
+    /// Folds another request's remote accounting into this one.
+    pub fn merge(&mut self, other: &RemoteMetrics) {
+        self.probe_hops += other.probe_hops;
+        self.serve_hops += other.serve_hops;
+        self.bytes_on_wire += other.bytes_on_wire;
+        self.remote_chunks += other.remote_chunks;
+        self.remote_virtual_ms += other.remote_virtual_ms;
+    }
+}
+
+/// The outcome of one [`QueryRequest`]: result cells, the local cost
+/// breakdown, and (for clustered execution) the remote accounting.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// All result cells, at the query's group-by level.
+    pub data: ChunkData,
+    /// The local cost breakdown (bit-identical to what the non-clustered
+    /// pipeline reports for the same work).
+    pub metrics: QueryMetrics,
+    /// Remote accounting; all zeros off-cluster.
+    pub remote: RemoteMetrics,
+    /// End-to-end *latency* in virtual milliseconds under fan-out
+    /// parallelism: a cluster executes a request's per-node sub-queries
+    /// concurrently, so this is the slowest node group's local total plus
+    /// that group's remote costs — while [`ExecOutcome::total_virtual_ms`]
+    /// keeps charging the full *work* (every group summed). The two
+    /// coincide for single-group and non-clustered execution.
+    pub critical_path_ms: f64,
+}
+
+impl ExecOutcome {
+    /// End-to-end virtual milliseconds of *work* including the
+    /// message-cost model: `metrics.total_ms() + remote.remote_virtual_ms`.
+    /// For fanned-out cluster execution this sums every node group; the
+    /// parallel-latency view is [`ExecOutcome::critical_path_ms`].
+    pub fn total_virtual_ms(&self) -> f64 {
+        self.metrics.total_ms() + self.remote.remote_virtual_ms
+    }
+
+    /// Converts into the legacy [`QueryResult`] (drops remote accounting).
+    pub fn into_result(self) -> QueryResult {
+        QueryResult {
+            data: self.data,
+            metrics: self.metrics,
+        }
+    }
+}
+
+impl From<QueryResult> for ExecOutcome {
+    fn from(r: QueryResult) -> Self {
+        Self {
+            critical_path_ms: r.metrics.total_ms(),
+            data: r.data,
+            metrics: r.metrics,
+            remote: RemoteMetrics::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_schema::GroupById;
+
+    #[test]
+    fn builder_chain_sets_context() {
+        let q = Query::new(GroupById(0), vec![1, 2]);
+        let req = QueryRequest::new(q.clone())
+            .tenant(7)
+            .routing(Routing::Node(2))
+            .consistency(Consistency::LocalOnly);
+        assert_eq!(req.query, q);
+        assert_eq!(req.tenant, 7);
+        assert_eq!(req.routing, Routing::Node(2));
+        assert_eq!(req.consistency, Consistency::LocalOnly);
+        let via_from: QueryRequest = (&q).into();
+        assert_eq!(via_from.tenant, 0);
+        assert_eq!(via_from.routing, Routing::Owner);
+    }
+
+    #[test]
+    fn total_includes_remote_cost() {
+        let out = ExecOutcome {
+            data: ChunkData::new(1),
+            metrics: QueryMetrics {
+                backend_virtual_ms: 10.0,
+                ..Default::default()
+            },
+            remote: RemoteMetrics {
+                remote_virtual_ms: 2.5,
+                ..Default::default()
+            },
+            critical_path_ms: 12.5,
+        };
+        assert!((out.total_virtual_ms() - 12.5).abs() < 1e-12);
+        let r = out.into_result();
+        assert!((r.metrics.total_ms() - 10.0).abs() < 1e-12);
+    }
+}

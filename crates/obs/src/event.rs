@@ -255,6 +255,47 @@ pub enum Event {
         /// Wall-clock nanoseconds this worker ran.
         wall_ns: u64,
     },
+    /// A cluster peer answered a chunk that missed on its owner node: the
+    /// peer computed it from its own cache and shipped the cells over the
+    /// simulated network (cooperative lookup).
+    RemoteServe {
+        /// Group-by id of the served chunk.
+        gb: u32,
+        /// Chunk number served.
+        chunk: u64,
+        /// Node that answered.
+        from_node: u32,
+        /// Owner node that received (and admitted) the cells.
+        to_node: u32,
+        /// Payload bytes shipped.
+        bytes: u64,
+        /// Virtual milliseconds charged by the message-cost model.
+        virtual_ms: f64,
+    },
+    /// A ring membership change moved a resident chunk to its new owner
+    /// (key-slice handoff during rebalancing).
+    Handoff {
+        /// Group-by id of the moved chunk.
+        gb: u32,
+        /// Chunk number moved.
+        chunk: u64,
+        /// Node that gave the chunk up.
+        from_node: u32,
+        /// New owner node.
+        to_node: u32,
+        /// Payload bytes shipped.
+        bytes: u64,
+    },
+    /// A cluster node went down (its cache contents are lost).
+    NodeDown {
+        /// The failed node.
+        node: u32,
+    },
+    /// A cluster node came back up (cold cache).
+    NodeUp {
+        /// The revived node.
+        node: u32,
+    },
     /// A query finished end to end (probe + apply).
     QueryDone {
         /// Probe id of the probe that produced the answer.
@@ -326,6 +367,10 @@ impl Event {
             Event::CountUpdate { .. } => "count_update",
             Event::CostUpdate { .. } => "cost_update",
             Event::ShardAgg { .. } => "shard_agg",
+            Event::RemoteServe { .. } => "remote_serve",
+            Event::Handoff { .. } => "handoff",
+            Event::NodeDown { .. } => "node_down",
+            Event::NodeUp { .. } => "node_up",
             Event::QueryDone { .. } => "query_done",
         }
     }
@@ -541,6 +586,41 @@ impl Event {
                 field_u(out, "shards", u64::from(*shards));
                 field_u(out, "cells", *cells);
                 field_u(out, "wall_ns", *wall_ns);
+            }
+            Event::RemoteServe {
+                gb,
+                chunk,
+                from_node,
+                to_node,
+                bytes,
+                virtual_ms,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "from_node", u64::from(*from_node));
+                field_u(out, "to_node", u64::from(*to_node));
+                field_u(out, "bytes", *bytes);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::Handoff {
+                gb,
+                chunk,
+                from_node,
+                to_node,
+                bytes,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "from_node", u64::from(*from_node));
+                field_u(out, "to_node", u64::from(*to_node));
+                field_u(out, "bytes", *bytes);
+            }
+            Event::NodeDown { node } => {
+                field_u(out, "node", u64::from(*node));
+            }
+            Event::NodeUp { node } => {
+                field_u(out, "node", u64::from(*node));
             }
             Event::QueryDone {
                 query,

@@ -137,8 +137,22 @@ impl MetricsRegistry {
     }
 
     /// Snapshot of the per-tenant stats, keyed by tenant id.
+    ///
+    /// This **clones** every tenant's stats, histograms included — fine
+    /// for end-of-run reporting, too expensive inside a query loop. Hot
+    /// paths should use [`MetricsRegistry::tenants_view`], which borrows
+    /// the aggregation instead of copying it.
     pub fn tenants(&self) -> BTreeMap<u32, TenantStats> {
         self.inner.lock().unwrap().tenants.clone()
+    }
+
+    /// Borrowed view of the per-tenant stats: no per-call allocation or
+    /// histogram copy. The view holds the registry lock, so keep it short-
+    /// lived — concurrent `emit`s block until it is dropped.
+    pub fn tenants_view(&self) -> TenantsView<'_> {
+        TenantsView {
+            guard: self.inner.lock().unwrap(),
+        }
     }
 
     /// Snapshot of one named counter (0 when never bumped).
@@ -326,6 +340,35 @@ impl MetricsRegistry {
     }
 }
 
+/// A borrowed, lock-holding view of the per-tenant aggregation — the
+/// allocation-free counterpart of [`MetricsRegistry::tenants`] for per-query
+/// hot paths.
+pub struct TenantsView<'a> {
+    guard: std::sync::MutexGuard<'a, Inner>,
+}
+
+impl TenantsView<'_> {
+    /// One tenant's stats, if it has completed any queries.
+    pub fn get(&self, tenant: u32) -> Option<&TenantStats> {
+        self.guard.tenants.get(&tenant)
+    }
+
+    /// Iterates tenants in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &TenantStats)> {
+        self.guard.tenants.iter().map(|(&t, s)| (t, s))
+    }
+
+    /// Number of tenants seen so far.
+    pub fn len(&self) -> usize {
+        self.guard.tenants.len()
+    }
+
+    /// Whether no tenant has completed a query yet.
+    pub fn is_empty(&self) -> bool {
+        self.guard.tenants.is_empty()
+    }
+}
+
 impl Tracer for MetricsRegistry {
     fn emit(&self, event: &Event) {
         let mut inner = self.inner.lock().unwrap();
@@ -415,6 +458,19 @@ impl Tracer for MetricsRegistry {
                 inner.bump("shard_aggs", 1);
                 inner.wall("shard_agg", *wall_ns);
             }
+            Event::RemoteServe {
+                bytes, virtual_ms, ..
+            } => {
+                inner.bump("remote_serves", 1);
+                inner.bump("bytes_on_wire", *bytes);
+                inner.virt("remote_serve", virtual_ms * 1000.0);
+            }
+            Event::Handoff { bytes, .. } => {
+                inner.bump("handoffs", 1);
+                inner.bump("bytes_on_wire", *bytes);
+            }
+            Event::NodeDown { .. } => inner.bump("node_downs", 1),
+            Event::NodeUp { .. } => inner.bump("node_ups", 1),
             Event::QueryDone {
                 tenant,
                 gb,
@@ -642,5 +698,88 @@ mod tests {
         assert!(lines[0].starts_with("gb,queries,complete_hits"));
         assert!(lines[1].starts_with("1,1,1,"));
         assert!(lines[2].starts_with("4,1,0,"));
+    }
+
+    #[test]
+    fn tenants_view_matches_snapshot() {
+        let r = MetricsRegistry::new();
+        r.emit(&query_done_for(0, 1, true));
+        r.emit(&query_done_for(3, 1, false));
+        r.emit(&query_done_for(3, 2, true));
+        let snapshot = r.tenants();
+        let view = r.tenants_view();
+        assert_eq!(view.len(), snapshot.len());
+        assert!(!view.is_empty());
+        for (tenant, s) in &snapshot {
+            let v = view.get(*tenant).expect("tenant present in view");
+            assert_eq!(v.queries, s.queries);
+            assert_eq!(v.complete_hits, s.complete_hits);
+            assert_eq!(v.latency_virtual_us.count(), s.latency_virtual_us.count());
+        }
+        let ids: Vec<u32> = view.iter().map(|(t, _)| t).collect();
+        assert_eq!(ids, vec![0, 3]);
+        assert!(view.get(7).is_none());
+    }
+
+    #[test]
+    fn cluster_events_aggregate() {
+        let r = MetricsRegistry::new();
+        r.emit(&Event::RemoteServe {
+            gb: 1,
+            chunk: 3,
+            from_node: 2,
+            to_node: 0,
+            bytes: 400,
+            virtual_ms: 1.5,
+        });
+        r.emit(&Event::Handoff {
+            gb: 1,
+            chunk: 4,
+            from_node: 0,
+            to_node: 2,
+            bytes: 100,
+        });
+        r.emit(&Event::NodeDown { node: 1 });
+        r.emit(&Event::NodeUp { node: 1 });
+        assert_eq!(r.counter("remote_serves"), 1);
+        assert_eq!(r.counter("handoffs"), 1);
+        assert_eq!(r.counter("bytes_on_wire"), 500);
+        assert_eq!(r.counter("node_downs"), 1);
+        assert_eq!(r.counter("node_ups"), 1);
+        assert_eq!(r.counter("events"), 4);
+        let h = r.virtual_histogram("remote_serve").unwrap();
+        assert_eq!(h.sum(), 1500.0);
+    }
+
+    /// Perf probe for the `tenants()`-on-the-hot-path fix: run with
+    /// `cargo test -p aggcache-obs --release -- --ignored --nocapture`
+    /// and compare the two timings (numbers go in EXPERIMENTS.md).
+    #[test]
+    #[ignore = "perf probe; run manually with --release --nocapture"]
+    fn tenants_view_perf_probe() {
+        use std::time::Instant;
+        let r = MetricsRegistry::new();
+        for tenant in 0..16 {
+            for _ in 0..64 {
+                r.emit(&query_done_for(tenant, 1, true));
+            }
+        }
+        const CALLS: usize = 100_000;
+        let t = Instant::now();
+        let mut acc = 0u64;
+        for _ in 0..CALLS {
+            acc += r.tenants().values().map(|s| s.queries).sum::<u64>();
+        }
+        let cloned = t.elapsed();
+        let t = Instant::now();
+        for _ in 0..CALLS {
+            acc += r.tenants_view().iter().map(|(_, s)| s.queries).sum::<u64>();
+        }
+        let viewed = t.elapsed();
+        assert_eq!(acc % 2, 0);
+        println!(
+            "tenants() clone: {:?} / {CALLS} calls; tenants_view(): {:?} / {CALLS} calls",
+            cloned, viewed
+        );
     }
 }

@@ -21,6 +21,7 @@ mod aggregate;
 mod backend;
 mod fact;
 mod fault;
+mod net;
 mod retry;
 mod source;
 
@@ -31,5 +32,6 @@ pub use aggregate::{
 pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
 pub use fact::FactTable;
 pub use fault::{FaultInjectingBackend, FaultProfile, FaultProfileError};
+pub use net::{MessageCostError, MessageCostModel};
 pub use retry::{RetryPolicy, RetryPolicyError, RetryingBackend};
 pub use source::BackendSource;

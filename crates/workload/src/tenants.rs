@@ -24,7 +24,7 @@
 
 use crate::{QueryKind, QueryMix, QueryStream, WorkloadConfig, WorkloadError};
 use aggcache_chunks::ChunkGrid;
-use aggcache_core::Query;
+use aggcache_core::{Query, QueryRequest};
 use aggcache_schema::Level;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -318,13 +318,25 @@ impl TrafficEngine {
         (0..n).map(|_| self.next_arrival()).collect()
     }
 
-    /// Generates `n` arrivals as `(tenant, query)` pairs — the shape
-    /// `CacheManager::execute_batch_tagged` consumes.
+    /// Generates `n` arrivals as `(tenant, query)` pairs. Kept for the
+    /// deprecated `CacheManager::execute_batch_tagged` path; new code
+    /// should use [`TrafficEngine::requests`].
     pub fn tagged_queries(&mut self, n: usize) -> Vec<(u32, Query)> {
         (0..n)
             .map(|_| {
                 let a = self.next_arrival();
                 (a.tenant, a.query)
+            })
+            .collect()
+    }
+
+    /// Generates `n` arrivals as tenant-tagged [`QueryRequest`]s — the
+    /// shape `CacheManager::run_batch` and the cluster tier consume.
+    pub fn requests(&mut self, n: usize) -> Vec<QueryRequest> {
+        (0..n)
+            .map(|_| {
+                let a = self.next_arrival();
+                QueryRequest::new(a.query).tenant(a.tenant)
             })
             .collect()
     }

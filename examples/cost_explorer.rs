@@ -29,9 +29,13 @@ fn main() {
     // Cache the base level plus one intermediate group-by, so some chunks
     // have several computation paths with different costs.
     let base = lattice.base();
-    manager.execute(&Query::full_group_by(&grid, base)).unwrap();
+    manager
+        .run(&(&Query::full_group_by(&grid, base)).into())
+        .unwrap();
     let mid = lattice.id_of(&[1, 2, 1]).unwrap();
-    manager.execute(&Query::full_group_by(&grid, mid)).unwrap();
+    manager
+        .run(&(&Query::full_group_by(&grid, mid)).into())
+        .unwrap();
 
     println!(
         "{:<12} {:>6} {:>14} {:>14} {:>10}",

@@ -52,7 +52,7 @@ fn session(optimizer: bool) -> (f64, usize, usize) {
     // Warm the cache with the full base, then ask for summaries: the cache
     // *can* compute each of them by aggregating ~150k cached tuples, but
     // the materialized tables answer some far cheaper.
-    mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+    mgr.run(&(&Query::full_group_by(&grid, lattice.base())).into())
         .unwrap();
     let mut demoted = 0;
     let mut computed = 0;
@@ -66,7 +66,7 @@ fn session(optimizer: bool) -> (f64, usize, usize) {
     ] {
         let gb = lattice.id_of(&level).unwrap();
         let m = mgr
-            .execute(&Query::full_group_by(&grid, gb))
+            .run(&(&Query::full_group_by(&grid, gb)).into())
             .unwrap()
             .metrics;
         demoted += m.chunks_demoted;

@@ -35,7 +35,7 @@ fn run(
     );
     for _ in 0..60 {
         let (q, _) = stream.next_with_kind();
-        manager.execute(&q).unwrap();
+        manager.run(&(&q).into()).unwrap();
     }
     let s = manager.session();
     (100.0 * s.complete_hit_ratio(), s.avg_ms())

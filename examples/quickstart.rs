@@ -35,7 +35,7 @@ fn main() {
     //    chunks fetched from the backend (one batched SQL statement).
     let base = lattice.base();
     let q1 = Query::full_group_by(&grid, base);
-    let r1 = manager.execute(&q1).unwrap();
+    let r1 = manager.run(&(&q1).into()).unwrap();
     println!(
         "Q1 detail query     : {} cells | hits {} computed {} missed {} | {:.1} ms",
         r1.data.len(),
@@ -46,7 +46,7 @@ fn main() {
     );
 
     // 2. The same query again: a complete hit.
-    let r2 = manager.execute(&q1).unwrap();
+    let r2 = manager.run(&(&q1).into()).unwrap();
     println!(
         "Q2 repeat           : {} cells | hits {} computed {} missed {} | {:.1} ms",
         r2.data.len(),
@@ -60,7 +60,7 @@ fn main() {
     //    *computes* it from the cached detail chunks.
     let rolled = lattice.id_of(&[2, 1]).unwrap();
     let q3 = Query::from_region(&grid, rolled, &[(0, 2), (0, 2)]);
-    let r3 = manager.execute(&q3).unwrap();
+    let r3 = manager.run(&(&q3).into()).unwrap();
     println!(
         "Q3 roll-up          : {} cells | hits {} computed {} missed {} | {:.1} ms  (complete hit: {})",
         r3.data.len(),
@@ -78,7 +78,9 @@ fn main() {
     if let Some(cost) = manager.costs().and_then(|c| c.cost(key)) {
         println!("\nVCMC says the grand total is computable by aggregating {cost} cached tuples");
     }
-    let r4 = manager.execute(&Query::full_group_by(&grid, top)).unwrap();
+    let r4 = manager
+        .run(&(&Query::full_group_by(&grid, top)).into())
+        .unwrap();
     println!(
         "Q4 grand total      : value {:.0} | computed from cache: {}",
         r4.data.value_of(0),

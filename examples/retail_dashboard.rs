@@ -10,7 +10,7 @@
 use aggcache::prelude::*;
 
 fn step(manager: &mut CacheManager, label: &str, query: &Query) {
-    let r = manager.execute(query).unwrap();
+    let r = manager.run(&(query).into()).unwrap();
     let m = r.metrics;
     let source = if m.complete_hit {
         if m.chunks_computed > 0 {

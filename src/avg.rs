@@ -8,6 +8,7 @@
 use aggcache_chunks::ChunkData;
 use aggcache_core::{
     CacheError, CacheManager, CacheManagerBuilder, ConfigError, ManagerConfig, Query, QueryMetrics,
+    QueryRequest,
 };
 use aggcache_obs::Tracer;
 use aggcache_store::{AggFn, Backend, BackendCostModel, FactTable};
@@ -114,13 +115,13 @@ impl AvgCache {
     /// Fails with [`CacheError::CellMisalignment`] if the two cubes return
     /// different cell sets (which would make the averages silently wrong).
     pub fn execute(&mut self, query: &Query) -> Result<(ChunkData, AvgMetrics), CacheError> {
-        let sums = self.sum.execute(query)?;
-        let counts = self.count.execute(query)?;
+        let sums = self.sum.run(&query.into())?.into_result();
+        let counts = self.count.run(&query.into())?.into_result();
         Self::join(sums, counts)
     }
 
     /// Executes a batch of queries on both cubes via
-    /// [`CacheManager::execute_batch`] — each cube probes its queries
+    /// [`CacheManager::run_batch`] — each cube probes its queries
     /// concurrently and shards large aggregations across
     /// [`ManagerConfig::threads`] — and joins each query's cells into
     /// averages. Results are identical to calling [`AvgCache::execute`] in
@@ -130,11 +131,12 @@ impl AvgCache {
         &mut self,
         queries: &[Query],
     ) -> Result<Vec<(ChunkData, AvgMetrics)>, CacheError> {
-        let sums = self.sum.execute_batch(queries)?;
-        let counts = self.count.execute_batch(queries)?;
+        let requests = QueryRequest::batch(queries);
+        let sums = self.sum.run_batch(&requests)?;
+        let counts = self.count.run_batch(&requests)?;
         sums.into_iter()
             .zip(counts)
-            .map(|(s, c)| Self::join(s, c))
+            .map(|(s, c)| Self::join(s.into_result(), c.into_result()))
             .collect()
     }
 

@@ -30,13 +30,15 @@
 //! // First query: chunks come from the backend and are cached.
 //! let grid = manager.grid().clone();
 //! let base = grid.schema().lattice().base();
-//! let q = Query::full_group_by(&grid, base);
-//! let r1 = manager.execute(&q).unwrap();
+//! let q = QueryRequest::new(Query::full_group_by(&grid, base));
+//! let r1 = manager.run(&q).unwrap();
 //! assert!(!r1.metrics.complete_hit);
 //!
 //! // A roll-up query: never fetched, but computable from the cache.
 //! let top = grid.schema().lattice().top();
-//! let r2 = manager.execute(&Query::full_group_by(&grid, top)).unwrap();
+//! let r2 = manager
+//!     .run(&Query::full_group_by(&grid, top).into())
+//!     .unwrap();
 //! assert!(r2.metrics.complete_hit);
 //! assert_eq!(r2.metrics.chunks_computed, 1);
 //! ```
@@ -53,6 +55,7 @@
 //! | [`core`] | ESM/ESMC/VCM/VCMC lookup, count/cost tables, manager |
 //! | [`workload`] | drill-down/roll-up/proximity/random query streams |
 //! | [`obs`] | trace events, tracer trait, metrics registry, exporters |
+//! | [`cluster`] | sharded multi-node tier: hash ring, cooperative lookup |
 
 #![warn(missing_docs)]
 
@@ -60,6 +63,7 @@ pub mod avg;
 
 pub use aggcache_cache as cache;
 pub use aggcache_chunks as chunks;
+pub use aggcache_cluster as cluster;
 pub use aggcache_core as core;
 pub use aggcache_gen as gen;
 pub use aggcache_obs as obs;
@@ -73,17 +77,21 @@ pub mod prelude {
         AdmissionKind, CachedChunk, ChunkCache, CountMinSketch, Origin, PolicyKind,
     };
     pub use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, ChunkNumber, PAPER_TUPLE_BYTES};
+    pub use aggcache_cluster::{ClusterBuilder, ClusterError, ClusterManager, HashRing, NodeStats};
     pub use aggcache_core::{
-        CacheError, CacheManager, CacheManagerBuilder, ComputationPlan, ConfigError, CostTable,
-        CountTable, LookupStats, ManagerConfig, PreloadReport, Query, QueryMetrics, QueryProbe,
-        QueryResult, SessionMetrics, Strategy, TableKind, ValueQuery,
+        CacheError, CacheManager, CacheManagerBuilder, ComputationPlan, ConfigError, Consistency,
+        CostTable, CountTable, ExecOutcome, LookupOutcome, LookupStats, ManagerConfig,
+        PreloadReport, Query, QueryMetrics, QueryProbe, QueryRequest, QueryResult, RemoteMetrics,
+        Routing, SessionMetrics, Strategy, TableKind, ValueQuery,
     };
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
-    pub use aggcache_obs::{Event, MetricsRegistry, RecordingTracer, TenantStats, Tracer};
+    pub use aggcache_obs::{
+        Event, MetricsRegistry, RecordingTracer, TenantStats, TenantsView, Tracer,
+    };
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
     pub use aggcache_store::{
         AggFn, Backend, BackendCostModel, BackendSource, FactTable, FaultInjectingBackend,
-        FaultProfile, Lift, RetryPolicy, RetryingBackend,
+        FaultProfile, Lift, MessageCostModel, RetryPolicy, RetryingBackend,
     };
     pub use aggcache_workload::{
         Arrival, MultiTenantConfig, QueryKind, QueryMix, QueryStream, TenantProfile, TrafficEngine,

@@ -61,7 +61,8 @@ const STRATEGIES: [Strategy; 5] = [
 /// construction).
 type Digest = (Vec<(Vec<u32>, u64)>, Vec<u64>, [usize; 4], bool);
 
-fn digest(mut r: QueryResult) -> Digest {
+fn digest(r: ExecOutcome) -> Digest {
+    let mut r = r.into_result();
     r.data.sort_by_coords();
     let cells: Vec<(Vec<u32>, u64)> = r
         .data
@@ -89,25 +90,25 @@ fn digest(mut r: QueryResult) -> Digest {
 }
 
 /// The original single-stream pipeline: `QueryStream` + `execute_batch`.
-fn single_stream_run(ds: &Dataset, strategy: Strategy, threads: usize) -> Vec<QueryResult> {
+fn single_stream_run(ds: &Dataset, strategy: Strategy, threads: usize) -> Vec<ExecOutcome> {
     let mut mgr = manager(ds, strategy, AdmissionKind::BenefitMean, threads);
     mgr.preload_best().unwrap();
     let max_level = ds.grid.geom(ds.fact_gb).level().to_vec();
     let mut stream = QueryStream::new(ds.grid.clone(), WorkloadConfig::paper(max_level, 2000));
     let queries = stream.take_queries(60);
-    mgr.execute_batch(&queries).unwrap()
+    mgr.run_batch(&QueryRequest::batch(&queries)).unwrap()
 }
 
 /// The multi-tenant rig collapsed to one tenant, same seed.
-fn one_tenant_run(ds: &Dataset, strategy: Strategy, threads: usize) -> Vec<QueryResult> {
+fn one_tenant_run(ds: &Dataset, strategy: Strategy, threads: usize) -> Vec<ExecOutcome> {
     let mut mgr = manager(ds, strategy, AdmissionKind::BenefitMean, threads);
     mgr.preload_best().unwrap();
     let max_level = ds.grid.geom(ds.fact_gb).level().to_vec();
     let cfg = MultiTenantConfig::uniform(1, max_level, 2000);
     let mut engine = TrafficEngine::new(ds.grid.clone(), &cfg).unwrap();
-    let tagged = engine.tagged_queries(60);
-    assert!(tagged.iter().all(|(t, _)| *t == 0));
-    mgr.execute_batch_tagged(&tagged).unwrap()
+    let requests = engine.requests(60);
+    assert!(requests.iter().all(|r| r.tenant == 0));
+    mgr.run_batch(&requests).unwrap()
 }
 
 #[test]
@@ -150,7 +151,7 @@ fn benefit_mean_admission_is_a_pure_noop() {
     let max_level = ds.grid.geom(ds.fact_gb).level().to_vec();
     let mut stream = QueryStream::new(ds.grid.clone(), WorkloadConfig::paper(max_level, 2000));
     let queries = stream.take_queries(60);
-    let b = mgr.execute_batch(&queries).unwrap();
+    let b = mgr.run_batch(&QueryRequest::batch(&queries)).unwrap();
     assert_eq!(mgr.cache().admission_rejects(), 0);
     let da: Vec<_> = a.into_iter().map(digest).collect();
     let db: Vec<_> = b.into_iter().map(digest).collect();
@@ -173,8 +174,8 @@ fn assert_tables_consistent(strategy: Strategy, admission: AdmissionKind) {
     let max_level = ds.grid.geom(ds.fact_gb).level().to_vec();
     let cfg = MultiTenantConfig::contended(4, 1.2, max_level, 2000);
     let mut engine = TrafficEngine::new(ds.grid.clone(), &cfg).unwrap();
-    let tagged = engine.tagged_queries(120);
-    mgr.execute_batch_tagged(&tagged).unwrap();
+    let requests = engine.requests(120);
+    mgr.run_batch(&requests).unwrap();
 
     let cached: std::collections::HashSet<ChunkKey> = mgr.cache().keys().collect();
     let rebuilt = CountTable::rebuild_from(ds.grid.clone(), |k| cached.contains(&k));
@@ -206,8 +207,8 @@ fn frequency_filter_actually_rejects_under_contention() {
     let max_level = ds.grid.geom(ds.fact_gb).level().to_vec();
     let cfg = MultiTenantConfig::contended(4, 1.2, max_level, 2000);
     let mut engine = TrafficEngine::new(ds.grid.clone(), &cfg).unwrap();
-    let tagged = engine.tagged_queries(150);
-    mgr.execute_batch_tagged(&tagged).unwrap();
+    let requests = engine.requests(150);
+    mgr.run_batch(&requests).unwrap();
     assert!(
         mgr.cache().admission_rejects() > 0,
         "tiny_lfu never fired on a contended stream"

@@ -178,8 +178,10 @@ fn assert_equivalence_for(strategy: Strategy) {
         // Sequential baseline (threads = 1, plain execute loop).
         let mut seq = manager_for(&ds, strategy, policy, budget, 1);
         seq.preload_best().unwrap();
-        let seq_results: Vec<QueryResult> =
-            queries.iter().map(|q| seq.execute(q).unwrap()).collect();
+        let seq_results: Vec<ExecOutcome> = queries
+            .iter()
+            .map(|q| seq.run(&(q).into()).unwrap())
+            .collect();
 
         for threads in [1usize, 2, 8] {
             let ctx = format!("{strategy:?}/{policy:?}/threads={threads}");
@@ -187,7 +189,7 @@ fn assert_equivalence_for(strategy: Strategy) {
             bat.preload_best().unwrap();
             let mut bat_results = Vec::with_capacity(queries.len());
             for window in queries.chunks(9) {
-                bat_results.extend(bat.execute_batch(window).unwrap());
+                bat_results.extend(bat.run_batch(&QueryRequest::batch(window)).unwrap());
             }
             assert_eq!(bat_results.len(), seq_results.len());
             for (i, (s, b)) in seq_results.iter().zip(&bat_results).enumerate() {
@@ -373,7 +375,7 @@ fn concurrent_probes_are_deterministic() {
     );
     mgr.preload_best().unwrap();
     for q in stream_queries(&ds, 8, 11) {
-        mgr.execute(&q).unwrap();
+        mgr.run(&(&q).into()).unwrap();
     }
 
     let probe_queries = stream_queries(&ds, 16, 12);

@@ -46,7 +46,7 @@ fn run_session(
     let mut checked = 0u64;
     for i in 0..queries {
         let (q, kind) = stream.next_with_kind();
-        let mut got = mgr.execute(&q).unwrap();
+        let mut got = mgr.run(&(&q).into()).unwrap();
         // Spot-check every 5th answer against the backend oracle (checking
         // all of them is covered by the smaller oracle test).
         if i % 5 == 0 {
@@ -111,8 +111,8 @@ fn vcmc_costs_consistent_after_apb_stream() {
         for chunk in (0..ds.grid.n_chunks(gb)).step_by(7) {
             let key = ChunkKey::new(gb, chunk);
             if let Some(cost) = costs.cost(key) {
-                let (plan, _stats) = mgr.lookup_chunk(key);
-                let plan = plan.expect("computable");
+                let outcome = mgr.lookup_chunk(key);
+                let plan = outcome.plan.expect("computable");
                 assert_eq!(plan.cost, u64::from(cost));
                 let leaf_sum: u64 = plan
                     .leaves
@@ -147,7 +147,7 @@ fn preload_then_aggregated_queries_never_touch_backend() {
     let lattice = ds.grid.schema().lattice().clone();
     for gb in lattice.iter_ids_under(ds.fact_gb).step_by(11) {
         let q = Query::new(gb, vec![0]);
-        let m = mgr.execute(&q).unwrap().metrics;
+        let m = mgr.run(&(&q).into()).unwrap().metrics;
         assert!(m.complete_hit, "{gb:?}");
     }
     assert_eq!(mgr.session().backend_tuples, 0);

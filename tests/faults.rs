@@ -107,7 +107,7 @@ enum Outcome {
 fn run_stream(mgr: &mut CacheManager, queries: &[Query]) -> Vec<Outcome> {
     queries
         .iter()
-        .map(|q| match mgr.execute(q) {
+        .map(|q| match mgr.run(&(q).into()) {
             Ok(r) => Outcome::Answered {
                 complete_hit: r.metrics.complete_hit,
                 chunks_degraded: r.metrics.chunks_degraded,
@@ -148,8 +148,8 @@ fn zero_fault_rate_is_bit_transparent() {
 
         for (i, q) in queries.iter().enumerate() {
             let ctx = format!("{ctx}, query {i}");
-            let a = plain.execute(q).unwrap();
-            let b = stacked.execute(q).unwrap();
+            let a = plain.run(&(q).into()).unwrap();
+            let b = stacked.run(&(q).into()).unwrap();
             assert_data_bit_identical(&a.data, &b.data, &ctx);
             assert_eq!(
                 a.metrics.total_ms().to_bits(),
@@ -260,7 +260,7 @@ fn fault_injection_never_corrupts_answers() {
             expected.append(&data);
         }
         expected.sort_by_coords();
-        match mgr.execute(q) {
+        match mgr.run(&(q).into()) {
             Ok(mut r) => {
                 answered += 1;
                 r.data.sort_by_coords();
@@ -297,7 +297,7 @@ fn count_tables_stay_consistent_under_faults() {
         let _ = mgr.preload_best();
         let mut failed = 0u64;
         for q in &queries {
-            match mgr.execute(q) {
+            match mgr.run(&(q).into()) {
                 Ok(_) => {}
                 Err(CacheError::BackendUnavailable { .. }) => failed += 1,
                 Err(e) => panic!("unexpected error under faults: {e}"),
@@ -353,7 +353,7 @@ fn permanent_outage_serves_degraded_or_fails_cleanly() {
     let mut degraded = 0u64;
     let mut failed = 0u64;
     for q in &queries {
-        match down.execute(q) {
+        match down.run(&(q).into()) {
             Ok(r) => {
                 assert_eq!(
                     r.metrics.chunks_degraded, r.metrics.chunks_missed,

@@ -47,7 +47,7 @@ fn stream_against_oracle(strategy: Strategy, policy: PolicyKind, cache_bytes: us
     for i in 0..120 {
         let (q, kind) = stream.next_with_kind();
         let expected = oracle_answer(&grid, &oracle_backend, &q);
-        let mut got = manager.execute(&q).unwrap();
+        let mut got = manager.run(&(&q).into()).unwrap();
         got.data.sort_by_coords();
         assert_eq!(
             got.data, expected,
@@ -125,9 +125,9 @@ fn aggregate_functions_agree_with_oracle() {
             .build(backend2)
             .unwrap();
         let base_q = Query::full_group_by(&grid, grid.schema().lattice().base());
-        manager.execute(&base_q).unwrap();
+        manager.run(&(&base_q).into()).unwrap();
         let top_q = Query::full_group_by(&grid, grid.schema().lattice().top());
-        let r = manager.execute(&top_q).unwrap();
+        let r = manager.run(&(&top_q).into()).unwrap();
         assert!(r.metrics.complete_hit, "{agg:?} must aggregate in cache");
         assert_eq!(r.data, expected, "{agg:?}");
     }

@@ -42,9 +42,9 @@ fn figure1_closure_property() {
             BackendCostModel::default(),
         ))
         .unwrap();
-    mgr.execute(&Query::full_group_by(&grid, product_time))
+    mgr.run(&(&Query::full_group_by(&grid, product_time)).into())
         .unwrap();
-    let r = mgr.execute(&Query::new(time_only, vec![0])).unwrap();
+    let r = mgr.run(&(&Query::new(time_only, vec![0])).into()).unwrap();
     assert!(r.metrics.complete_hit);
     let expected = backend.fetch(time_only, &[0]).unwrap().chunks.remove(0).1;
     let mut got = r.data;
@@ -78,15 +78,15 @@ fn example1_overlapping_queries_reuse_chunks() {
     // Q1: a block in the lower-left; Q2: a block in the upper-right.
     let q1 = Query::from_region(&grid, base, &[(0, 3), (0, 3)]);
     let q2 = Query::from_region(&grid, base, &[(4, 8), (4, 8)]);
-    let m1 = mgr.execute(&q1).unwrap().metrics;
-    let m2 = mgr.execute(&q2).unwrap().metrics;
+    let m1 = mgr.run(&(&q1).into()).unwrap().metrics;
+    let m2 = mgr.run(&(&q2).into()).unwrap().metrics;
     assert_eq!(m1.chunks_missed, 9);
     assert_eq!(m2.chunks_missed, 16);
 
     // Q3 straddles both: it reuses every chunk it has in common with Q1
     // and Q2, fetching only the shaded remainder.
     let q3 = Query::from_region(&grid, base, &[(2, 6), (2, 6)]);
-    let m3 = mgr.execute(&q3).unwrap().metrics;
+    let m3 = mgr.run(&(&q3).into()).unwrap().metrics;
     let overlap_q1 = 1; // (2..3) x (2..3)
     let overlap_q2 = 4; // (4..6) x (4..6)
     assert_eq!(m3.chunks_hit, overlap_q1 + overlap_q2);
@@ -156,9 +156,9 @@ fn example4_counts_via_manager() {
         .unwrap();
     // Reach the figure's cache state with queries: chunks 0,2,3 of (1,1),
     // chunk 0 of (0,1), chunk 0 of (0,0).
-    mgr.execute(&Query::new(b11, vec![0, 2, 3])).unwrap();
-    mgr.execute(&Query::new(b01, vec![0])).unwrap();
-    mgr.execute(&Query::new(b00, vec![0])).unwrap();
+    mgr.run(&(&Query::new(b11, vec![0, 2, 3])).into()).unwrap();
+    mgr.run(&(&Query::new(b01, vec![0])).into()).unwrap();
+    mgr.run(&(&Query::new(b00, vec![0])).into()).unwrap();
 
     let counts = mgr.counts().unwrap();
     // (0,1) chunk 0: cached + computable through (1,1) = 2.
@@ -195,10 +195,11 @@ fn example5_cost_based_path_choice() {
         .unwrap();
     // Cache the full base (large chunks) and the full (0,1) level (small
     // chunks).
-    mgr.execute(&Query::full_group_by(&grid, lattice.base()))
+    mgr.run(&(&Query::full_group_by(&grid, lattice.base())).into())
         .unwrap();
     let b01 = lattice.id_of(&[0, 1]).unwrap();
-    mgr.execute(&Query::full_group_by(&grid, b01)).unwrap();
+    mgr.run(&(&Query::full_group_by(&grid, b01)).into())
+        .unwrap();
 
     // The grand total is computable via base (144 tuples) or via the two
     // cached/computed (0,1) chunks (24 tuples). VCMC must pick the latter.
@@ -206,7 +207,7 @@ fn example5_cost_based_path_choice() {
     let cost = mgr.costs().unwrap().cost(top_key).unwrap();
     assert!(cost <= 24, "expected the cheap path, got {cost} tuples");
     let m = mgr
-        .execute(&Query::new(lattice.top(), vec![0]))
+        .run(&(&Query::new(lattice.top(), vec![0])).into())
         .unwrap()
         .metrics;
     assert!(m.complete_hit);

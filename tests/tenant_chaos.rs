@@ -76,7 +76,7 @@ fn faulty_multi_tenant_streams_never_corrupt_answers() {
                 expected.append(&data);
             }
             expected.sort_by_coords();
-            match mgr.execute_as(q, *tenant) {
+            match mgr.run(&QueryRequest::new(q.clone()).tenant(*tenant)) {
                 Ok(mut r) => {
                     answered += 1;
                     degraded += u64::from(r.metrics.chunks_degraded > 0);
@@ -107,7 +107,7 @@ fn per_tenant_degraded_counts_sum_to_session_totals() {
         let _ = mgr.preload_best();
         let mut failed = 0u64;
         for (tenant, q) in &arrivals {
-            match mgr.execute_as(q, *tenant) {
+            match mgr.run(&QueryRequest::new(q.clone()).tenant(*tenant)) {
                 Ok(_) => {}
                 Err(CacheError::BackendUnavailable { .. }) => failed += 1,
                 Err(e) => panic!("{admission:?}: unexpected error under faults: {e}"),
@@ -155,7 +155,7 @@ fn chaotic_multi_tenant_sessions_are_deterministic() {
         let _ = mgr.preload_best();
         let mut outcomes = Vec::new();
         for (tenant, q) in &arrivals {
-            match mgr.execute_as(q, *tenant) {
+            match mgr.run(&QueryRequest::new(q.clone()).tenant(*tenant)) {
                 Ok(r) => outcomes.push((
                     *tenant,
                     true,
