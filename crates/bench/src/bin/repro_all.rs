@@ -2,7 +2,7 @@
 //! reproduction report (used to populate EXPERIMENTS.md).
 use aggcache_bench::args::Args;
 use aggcache_bench::experiments::{
-    cluster, comparison, faults, policy, table1, table2, table3, tenants, unit_a, unit_b,
+    cluster, coldstart, comparison, faults, policy, table1, table2, table3, tenants, unit_a, unit_b,
 };
 
 fn main() {
@@ -90,4 +90,16 @@ fn main() {
         ..Default::default()
     });
     println!("{}", cluster::render(&cl));
+
+    // Beyond the paper: restart behavior with the persistent spill tier.
+    // Scaled down — the sweep runs warm-up + two restarts per cell.
+    let cs = coldstart::run_experiment(
+        coldstart::Opts {
+            tuples: tuples.min(60_000),
+            seed,
+            ..Default::default()
+        },
+        "repro",
+    );
+    println!("{}", coldstart::render(&cs));
 }

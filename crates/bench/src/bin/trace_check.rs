@@ -8,7 +8,7 @@
 use aggcache_bench::args::Args;
 use aggcache_obs::json::JsonValue;
 
-const KNOWN_KINDS: [&str; 20] = [
+const KNOWN_KINDS: [&str; 24] = [
     "probe_start",
     "chunk_lookup",
     "probe_end",
@@ -24,6 +24,10 @@ const KNOWN_KINDS: [&str; 20] = [
     "count_update",
     "cost_update",
     "shard_agg",
+    "spill_write",
+    "spill_read",
+    "spill_promote",
+    "warm_start",
     "remote_serve",
     "handoff",
     "node_down",
@@ -69,6 +73,9 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         "group_boost" => &["chunks", "amount"],
         "count_update" | "cost_update" => &["gb", "chunk", "writes", "evict"],
         "shard_agg" => &["phase", "shard", "shards", "cells", "wall_ns"],
+        "spill_write" | "spill_read" => &["gb", "chunk", "bytes", "virtual_ms"],
+        "spill_promote" => &["gb", "chunk", "admitted"],
+        "warm_start" => &["chunks", "bytes", "virtual_ms"],
         "remote_serve" => &["gb", "chunk", "from_node", "to_node", "bytes", "virtual_ms"],
         "handoff" => &["gb", "chunk", "from_node", "to_node", "bytes"],
         "node_down" | "node_up" => &["node"],

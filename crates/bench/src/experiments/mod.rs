@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod cluster;
+pub mod coldstart;
 pub mod comparison;
 pub mod faults;
 pub mod policy;

@@ -14,6 +14,11 @@ pub enum Origin {
     /// Computed by aggregating other cached chunks. Cheap to reproduce as
     /// long as its inputs stay cached.
     Computed,
+    /// Promoted back from the disk spill tier. Cheapest of all to
+    /// reproduce — its bytes are still on disk — so under the paper's
+    /// tiered policy it is the first to fall (backend > computed >
+    /// spilled). Never present unless a spill tier is attached.
+    Spilled,
 }
 
 /// A cached chunk with its replacement metadata.
@@ -60,6 +65,11 @@ enum Rings {
     TwoLevel {
         backend: ClockRing,
         computed: ClockRing,
+        /// Third replacement level (the spill tier's promotions): victims
+        /// are drawn here before any computed or backend chunk. Empty —
+        /// and therefore behaviourally invisible — unless a spill tier
+        /// feeds `Origin::Spilled` inserts.
+        spilled: ClockRing,
     },
 }
 
@@ -93,6 +103,14 @@ pub struct ChunkCache {
     admission: AdmissionState,
     /// Inserts refused by the admission policy (not by feasibility).
     admission_rejects: u64,
+    /// When `true`, policy victims evicted by [`ChunkCache::insert`] are
+    /// retained (with their data) in `evicted_buf` for the owner to drain
+    /// — the spill tier's demotion hook. Off by default: eviction then
+    /// drops entries immediately, exactly the historical behaviour.
+    capture_evicted: bool,
+    /// Victims captured since the last [`ChunkCache::drain_evicted`], in
+    /// eviction order (aligned with [`InsertOutcome::evicted`]).
+    evicted_buf: Vec<(ChunkKey, CachedChunk)>,
     /// Optional event sink; `None` keeps every emission site down to one
     /// branch.
     tracer: Option<Arc<dyn Tracer>>,
@@ -102,6 +120,7 @@ fn tier_of(origin: Origin) -> Tier {
     match origin {
         Origin::Backend => Tier::Fetched,
         Origin::Computed => Tier::Computed,
+        Origin::Spilled => Tier::Spilled,
     }
 }
 
@@ -125,6 +144,7 @@ impl ChunkCache {
             PolicyKind::TwoLevel => Rings::TwoLevel {
                 backend: ClockRing::new(),
                 computed: ClockRing::new(),
+                spilled: ClockRing::new(),
             },
         };
         Self {
@@ -140,6 +160,8 @@ impl ChunkCache {
             admission_kind: admission,
             admission: AdmissionState::new(admission),
             admission_rejects: 0,
+            capture_evicted: false,
+            evicted_buf: Vec::new(),
             tracer: None,
         }
     }
@@ -228,9 +250,14 @@ impl ChunkCache {
                 // seed (0.5), so recently-used entries survive the sweep.
                 Rings::Lru(r) => r.touch(packed, 1.0),
                 Rings::Benefit(r) => r.touch(packed, clock),
-                Rings::TwoLevel { backend, computed } => match entry.origin {
+                Rings::TwoLevel {
+                    backend,
+                    computed,
+                    spilled,
+                } => match entry.origin {
                     Origin::Backend => backend.touch(packed, clock),
                     Origin::Computed => computed.touch(packed, clock),
+                    Origin::Spilled => spilled.touch(packed, clock),
                 },
             }
             self.map.get(&packed)
@@ -268,11 +295,18 @@ impl ChunkCache {
     /// key the caller passed.
     pub fn boost_group<'a>(&mut self, keys: impl Iterator<Item = &'a ChunkKey>, benefit: f64) {
         let amount = self.normalized(benefit);
-        if let Rings::TwoLevel { backend, computed } = &mut self.rings {
+        if let Rings::TwoLevel {
+            backend,
+            computed,
+            spilled,
+        } = &mut self.rings
+        {
             let mut chunks = 0u64;
             for key in keys {
                 let packed = key.pack();
-                let present = backend.boost(packed, amount) | computed.boost(packed, amount);
+                let present = backend.boost(packed, amount)
+                    | computed.boost(packed, amount)
+                    | spilled.boost(packed, amount);
                 chunks += u64::from(present);
             }
             if let Some(tracer) = &self.tracer {
@@ -345,8 +379,16 @@ impl ChunkCache {
             match victim {
                 Some(v) => {
                     self.trace_evict(v);
-                    self.remove_internal(v);
-                    evicted.push(ChunkKey::unpack(v));
+                    let entry = self.take_internal(v);
+                    let victim_key = ChunkKey::unpack(v);
+                    if self.capture_evicted {
+                        if let Some(entry) = entry {
+                            // Demotion hook: keep the victim's data for the
+                            // owner to spill to disk.
+                            self.evicted_buf.push((victim_key, entry));
+                        }
+                    }
+                    evicted.push(victim_key);
                 }
                 None => {
                     // Unreachable given the precheck, but stay safe: refuse
@@ -371,9 +413,14 @@ impl ChunkCache {
         match &mut self.rings {
             Rings::Lru(r) => r.insert(packed, 0.5),
             Rings::Benefit(r) => r.insert(packed, clock),
-            Rings::TwoLevel { backend, computed } => match origin {
+            Rings::TwoLevel {
+                backend,
+                computed,
+                spilled,
+            } => match origin {
                 Origin::Backend => backend.insert(packed, clock),
                 Origin::Computed => computed.insert(packed, clock),
+                Origin::Spilled => spilled.insert(packed, clock),
             },
         }
         self.used += bytes;
@@ -418,9 +465,14 @@ impl ChunkCache {
             .unwrap_or(Tier::Fetched);
         let (clock_round, clock) = match &self.rings {
             Rings::Lru(r) | Rings::Benefit(r) => (r.rounds(), r.clock_of(victim)),
-            Rings::TwoLevel { backend, computed } => match computed.clock_of(victim) {
-                Some(c) => (computed.rounds(), Some(c)),
-                None => (backend.rounds(), backend.clock_of(victim)),
+            Rings::TwoLevel {
+                backend,
+                computed,
+                spilled,
+            } => match (spilled.clock_of(victim), computed.clock_of(victim)) {
+                (Some(c), _) => (spilled.rounds(), Some(c)),
+                (None, Some(c)) => (computed.rounds(), Some(c)),
+                (None, None) => (backend.rounds(), backend.clock_of(victim)),
             },
         };
         let key = ChunkKey::unpack(victim);
@@ -495,6 +547,10 @@ impl ChunkCache {
             AdmissionState::TwoLevel => match origin {
                 Origin::Backend => true,
                 Origin::Computed => self.normalized(benefit) >= 1.0,
+                // A promotion was demanded by a live query and can only
+                // displace other spilled chunks (feasibility rule), so the
+                // frequency/benefit bar would protect nothing.
+                Origin::Spilled => true,
             },
             AdmissionState::TinyLfu(sketch) => {
                 let candidate_est = sketch.estimate(candidate);
@@ -504,12 +560,7 @@ impl ChunkCache {
                     .filter(|(&k, e)| {
                         k != candidate
                             && !self.pinned.contains(&k)
-                            && match (self.policy(), origin) {
-                                (PolicyKind::TwoLevel, Origin::Computed) => {
-                                    e.origin == Origin::Computed
-                                }
-                                _ => true,
-                            }
+                            && may_evict(self.policy(), origin, e.origin)
                     })
                     .map(|(&k, _)| sketch.estimate(k))
                     .min();
@@ -529,11 +580,7 @@ impl ChunkCache {
             .filter(|(&k, e)| {
                 k != replacing
                     && !self.pinned.contains(&k)
-                    && match (self.policy(), origin) {
-                        // Computed chunks may only displace computed chunks.
-                        (PolicyKind::TwoLevel, Origin::Computed) => e.origin == Origin::Computed,
-                        _ => true,
-                    }
+                    && may_evict(self.policy(), origin, e.origin)
             })
             .map(|(_, e)| e.bytes)
             .sum()
@@ -543,15 +590,27 @@ impl ChunkCache {
         let pinned = &self.pinned;
         match &mut self.rings {
             Rings::Lru(r) | Rings::Benefit(r) => r.find_victim(|k| pinned.contains(&k)),
-            Rings::TwoLevel { backend, computed } => {
-                // Computed chunks are always the first victims; backend
-                // chunks fall only to other backend chunks.
+            Rings::TwoLevel {
+                backend,
+                computed,
+                spilled,
+            } => {
+                // Three-level order: spilled chunks (still on disk) fall
+                // first, then computed chunks; backend chunks fall only to
+                // other backend chunks. An inserting chunk may only claim
+                // victims at or below its own level.
+                if let Some(v) = spilled.find_victim(|k| pinned.contains(&k)) {
+                    return Some(v);
+                }
+                if origin == Origin::Spilled {
+                    return None;
+                }
                 if let Some(v) = computed.find_victim(|k| pinned.contains(&k)) {
                     return Some(v);
                 }
                 match origin {
                     Origin::Backend => backend.find_victim(|k| pinned.contains(&k)),
-                    Origin::Computed => None,
+                    _ => None,
                 }
             }
         }
@@ -578,12 +637,66 @@ impl ChunkCache {
             Rings::Lru(r) | Rings::Benefit(r) => {
                 r.remove(key);
             }
-            Rings::TwoLevel { backend, computed } => {
+            Rings::TwoLevel {
+                backend,
+                computed,
+                spilled,
+            } => {
                 backend.remove(key);
                 computed.remove(key);
+                spilled.remove(key);
             }
         }
         Some(entry)
+    }
+
+    /// Enables (or disables) eviction capture: while on, policy victims
+    /// evicted by [`ChunkCache::insert`] keep their data in an internal
+    /// buffer until [`ChunkCache::drain_evicted`] — the spill tier's
+    /// demotion hook. Explicit [`ChunkCache::remove`], replaced entries and
+    /// ownership drains are *not* captured: only replacement-policy
+    /// victims are demotion candidates.
+    pub fn set_capture_evicted(&mut self, on: bool) {
+        self.capture_evicted = on;
+        if !on {
+            self.evicted_buf.clear();
+        }
+    }
+
+    /// Takes the victims captured since the last drain, in eviction order
+    /// (each aligned with its [`InsertOutcome::evicted`] report). Empty
+    /// unless [`ChunkCache::set_capture_evicted`] is on.
+    pub fn drain_evicted(&mut self) -> Vec<(ChunkKey, CachedChunk)> {
+        std::mem::take(&mut self.evicted_buf)
+    }
+
+    /// Iterates the resident entries in ascending packed-key order — the
+    /// deterministic enumeration checkpoints serialize under.
+    pub fn entries_sorted(&self) -> Vec<(ChunkKey, &CachedChunk)> {
+        let mut keys: Vec<PackedChunkKey> = self.map.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|packed| {
+                (
+                    ChunkKey::unpack(packed),
+                    self.map.get(&packed).expect("key just enumerated"),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Whether an insert of `inserting` origin may evict a resident of
+/// `victim` origin — the tiered-policy eviction lattice (backend >
+/// computed > spilled; non-tiered policies allow everything).
+fn may_evict(policy: PolicyKind, inserting: Origin, victim: Origin) -> bool {
+    if policy != PolicyKind::TwoLevel {
+        return true;
+    }
+    match inserting {
+        Origin::Backend => true,
+        Origin::Computed => victim != Origin::Backend,
+        Origin::Spilled => victim == Origin::Spilled,
     }
 }
 

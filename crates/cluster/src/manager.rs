@@ -429,6 +429,8 @@ impl ClusterManager {
             data: merged_data.unwrap_or_else(|| ChunkData::new(self.nodes[0].grid().num_dims())),
             metrics: merged_metrics,
             remote,
+            // Cluster nodes run without a spill tier.
+            spill: aggcache_core::SpillMetrics::default(),
             critical_path_ms,
         })
     }

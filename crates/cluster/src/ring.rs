@@ -29,6 +29,28 @@ fn mix64(mut z: u64) -> u64 {
 /// a dead node keeps its ring points but is skipped during ownership
 /// walks, so ownership fails over to the next live node and fails back on
 /// revival — both with minimal movement.
+///
+/// # Examples
+///
+/// ```
+/// use aggcache_cluster::HashRing;
+/// use aggcache_chunks::ChunkKey;
+/// use aggcache_schema::GroupById;
+///
+/// let mut ring = HashRing::new(4, 2, 64)?;
+/// let key = ChunkKey::new(GroupById(3), 7);
+/// let owners = ring.owners(key); // primary first, distinct live nodes
+/// assert_eq!(owners.len(), 2);
+/// assert_eq!(ring.primary(key), Some(owners[0]));
+///
+/// // Killing the primary fails the key over to the next live node…
+/// ring.set_alive(owners[0], false);
+/// assert_ne!(ring.primary(key), Some(owners[0]));
+/// // …and revival fails it back — minimal movement, deterministically.
+/// ring.set_alive(owners[0], true);
+/// assert_eq!(ring.primary(key), Some(owners[0]));
+/// # Ok::<(), aggcache_cluster::ClusterError>(())
+/// ```
 #[derive(Debug, Clone)]
 pub struct HashRing {
     /// Sorted `(point, node)` pairs; ties broken by node id.

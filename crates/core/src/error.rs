@@ -22,6 +22,14 @@ pub enum ConfigError {
         /// The offending value.
         value: f64,
     },
+    /// The spill tier could not be opened or warm-started (invalid cost
+    /// model, unreadable directory or a corrupt index). Carries the
+    /// rendered [`aggcache_store::SpillError`] so `ConfigError` stays
+    /// `Clone`.
+    Spill {
+        /// The rendered underlying spill error.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -38,6 +46,7 @@ impl fmt::Display for ConfigError {
             Self::InvalidRate { name, value } => {
                 write!(f, "rate `{name}` must be finite and >= 0, got {value}")
             }
+            Self::Spill { reason } => write!(f, "spill tier error: {reason}"),
         }
     }
 }

@@ -54,8 +54,11 @@ pub use lookup::{
     esm, esmc, lookup, no_aggregation, vcm, vcmc, ComputationPlan, LookupOutcome, LookupStats,
     Strategy,
 };
-pub use manager::{CacheManager, CacheManagerBuilder, ManagerConfig, PreloadReport, QueryProbe};
+pub use manager::{
+    CacheManager, CacheManagerBuilder, CheckpointReport, ManagerConfig, PreloadReport, QueryProbe,
+    WarmStartReport,
+};
 pub use metrics::{QueryMetrics, SessionMetrics};
 pub use query::{Query, QueryResult, ValueQuery};
-pub use request::{Consistency, ExecOutcome, QueryRequest, RemoteMetrics, Routing};
+pub use request::{Consistency, ExecOutcome, QueryRequest, RemoteMetrics, Routing, SpillMetrics};
 pub use storage::TableKind;

@@ -1,13 +1,16 @@
 use crate::error::{CacheError, ConfigError};
 use crate::executor::execute_plan_parallel_traced;
 use crate::lookup::{esm, lookup, ComputationPlan, LookupOutcome, LookupStats, Strategy};
-use crate::request::{ExecOutcome, QueryRequest};
+use crate::request::{ExecOutcome, QueryRequest, SpillMetrics};
 use crate::{CostTable, CountTable, Query, QueryMetrics, QueryResult, SessionMetrics};
 use aggcache_cache::{AdmissionKind, ChunkCache, Origin, PolicyKind};
 use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, PAPER_TUPLE_BYTES};
 use aggcache_obs::{Event, LookupOutcome as ChunkLookupKind, Tracer};
 use aggcache_schema::{GroupById, Level, SchemaError};
-use aggcache_store::{BackendSource, StoreError};
+use aggcache_store::{
+    BackendSource, SpillConfig, SpillError, SpillStore, StoreError, ORIGIN_BACKEND,
+    ORIGIN_COMPUTED, ORIGIN_SPILLED,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -134,6 +137,7 @@ pub struct CacheManagerBuilder {
     config: ManagerConfig,
     cache_bytes: Option<usize>,
     tracer: Option<Arc<dyn Tracer>>,
+    spill: Option<SpillConfig>,
 }
 
 impl Default for CacheManagerBuilder {
@@ -152,6 +156,7 @@ impl CacheManagerBuilder {
             config: ManagerConfig::defaults(Strategy::Vcmc, PolicyKind::TwoLevel, 0),
             cache_bytes: None,
             tracer: None,
+            spill: None,
         }
     }
 
@@ -161,6 +166,7 @@ impl CacheManagerBuilder {
             cache_bytes: Some(config.cache_bytes),
             config,
             tracer: None,
+            spill: None,
         }
     }
 
@@ -239,6 +245,18 @@ impl CacheManagerBuilder {
         self
     }
 
+    /// Attaches a disk spill tier (see `docs/FORMAT.md` for the on-disk
+    /// format): evicted chunks are demoted to `config.dir` instead of
+    /// being dropped, missing chunks are promoted back from disk before
+    /// the backend is asked, and — if the directory holds a checkpoint
+    /// from a previous session — the manager warm-starts from it during
+    /// [`CacheManagerBuilder::build`]. Without this call nothing touches
+    /// disk and the manager is bit-identical to pre-spill builds.
+    pub fn spill(mut self, config: SpillConfig) -> Self {
+        self.spill = Some(config);
+        self
+    }
+
     /// The validated configuration this builder would construct with.
     pub fn config(&self) -> Result<ManagerConfig, ConfigError> {
         let mut config = self.config;
@@ -262,6 +280,13 @@ impl CacheManagerBuilder {
         let mut manager = CacheManager::from_parts(backend, config);
         if self.tracer.is_some() {
             manager.set_tracer(self.tracer);
+        }
+        if let Some(spill) = self.spill {
+            manager
+                .attach_spill(spill)
+                .map_err(|e| ConfigError::Spill {
+                    reason: e.to_string(),
+                })?;
         }
         Ok(manager)
     }
@@ -356,6 +381,58 @@ pub struct CacheManager {
     /// Monotonic probe-id source; atomic because concurrent batch probes
     /// run against `&self`.
     probe_seq: AtomicU64,
+    /// The disk spill tier, when one was attached via
+    /// [`CacheManagerBuilder::spill`]. `None` (the default) keeps every
+    /// path bit-identical to pre-spill builds.
+    spill: Option<SpillStore>,
+    /// Spill accounting for the query currently being applied; reset at
+    /// the start of every apply and harvested by the `run*` entry points.
+    spill_query: SpillMetrics,
+    /// Session-cumulative spill accounting (includes warm-start and
+    /// checkpoint traffic, which no single query owns).
+    spill_session: SpillMetrics,
+}
+
+/// What a warm start recovered from the spill tier's checkpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmStartReport {
+    /// Chunks re-admitted into RAM.
+    pub chunks: u64,
+    /// Serialized bytes read from disk.
+    pub bytes: u64,
+    /// Virtual milliseconds charged for the recovery reads.
+    pub virtual_ms: f64,
+}
+
+/// What a [`CacheManager::checkpoint`] wrote to the spill tier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointReport {
+    /// Resident chunks recorded in the checkpoint.
+    pub chunks: u64,
+    /// Serialized bytes written (0 for chunks already spilled).
+    pub bytes: u64,
+    /// Virtual milliseconds charged for the checkpoint writes.
+    pub virtual_ms: f64,
+}
+
+/// Maps a RAM-side [`Origin`] to its on-disk code (`docs/FORMAT.md` §origin).
+fn origin_code(origin: Origin) -> u8 {
+    match origin {
+        Origin::Backend => ORIGIN_BACKEND,
+        Origin::Computed => ORIGIN_COMPUTED,
+        Origin::Spilled => ORIGIN_SPILLED,
+    }
+}
+
+/// Maps an on-disk origin code back to a RAM-side [`Origin`]. Unknown
+/// codes (a future format revision) conservatively map to the lowest
+/// replacement tier.
+fn origin_from_code(code: u8) -> Origin {
+    match code {
+        ORIGIN_BACKEND => Origin::Backend,
+        ORIGIN_COMPUTED => Origin::Computed,
+        _ => Origin::Spilled,
+    }
 }
 
 /// The outcome of the immutable probe phase of one query: the partition of
@@ -439,6 +516,9 @@ impl CacheManager {
             version: 0,
             tracer: None,
             probe_seq: AtomicU64::new(0),
+            spill: None,
+            spill_query: SpillMetrics::default(),
+            spill_session: SpillMetrics::default(),
         }
     }
 
@@ -499,9 +579,125 @@ impl CacheManager {
         self.version
     }
 
-    /// Clears session metrics (e.g. after warm-up).
+    /// Clears session metrics (e.g. after warm-up), spill accounting
+    /// included.
     pub fn reset_session(&mut self) {
         self.session = SessionMetrics::default();
+        self.spill_session = SpillMetrics::default();
+    }
+
+    /// The attached spill tier, if any (read access).
+    pub fn spill_store(&self) -> Option<&SpillStore> {
+        self.spill.as_ref()
+    }
+
+    /// Mutable spill-store access — fault-injection test support.
+    #[doc(hidden)]
+    pub fn spill_store_mut(&mut self) -> Option<&mut SpillStore> {
+        self.spill.as_mut()
+    }
+
+    /// Session-cumulative spill accounting: every demotion, promotion,
+    /// warm-start and checkpoint since construction (or the last
+    /// [`CacheManager::reset_session`]). All zeros without a spill tier.
+    pub fn session_spill(&self) -> &SpillMetrics {
+        &self.spill_session
+    }
+
+    /// Folds a spill charge into the current query's scratch and the
+    /// session cumulative in one step.
+    fn charge_spill(&mut self, delta: &SpillMetrics) {
+        self.spill_query.merge(delta);
+        self.spill_session.merge(delta);
+    }
+
+    /// Attaches a spill tier and warm-starts from its checkpoint, if one
+    /// exists. Called by [`CacheManagerBuilder::build`] when
+    /// [`CacheManagerBuilder::spill`] was used; public so a spill tier can
+    /// also be attached to an already-built manager.
+    ///
+    /// Warm start re-admits every chunk the checkpoint marked resident, in
+    /// ascending packed-key order, with its original origin and benefit —
+    /// through the normal admission path, so count/cost tables are rebuilt
+    /// exactly as if the chunks had just been inserted. Recovery reads are
+    /// charged to the spill cost model (session accounting, not any
+    /// query's), and one [`Event::WarmStart`] is emitted. Returns `None`
+    /// when the directory held no checkpoint.
+    pub fn attach_spill(
+        &mut self,
+        config: SpillConfig,
+    ) -> Result<Option<WarmStartReport>, SpillError> {
+        let store = SpillStore::open(config)?;
+        let resident = store.resident_entries();
+        let mut report = WarmStartReport::default();
+        for (key, code, benefit, disk_bytes) in resident {
+            let Some(record) = store.read(key)? else {
+                continue;
+            };
+            report.chunks += 1;
+            report.bytes += disk_bytes;
+            report.virtual_ms += store.cost().read_ms(disk_bytes);
+            self.admit_chunk(key, record.data, origin_from_code(code), benefit);
+        }
+        if report.chunks > 0 {
+            self.spill_session.merge(&SpillMetrics {
+                spill_reads: report.chunks,
+                bytes_read: report.bytes,
+                spill_virtual_ms: report.virtual_ms,
+                ..SpillMetrics::default()
+            });
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::WarmStart {
+                    chunks: report.chunks,
+                    bytes: report.bytes,
+                    virtual_ms: report.virtual_ms,
+                });
+            }
+        }
+        // Demotions only start once the store is in place: warm-start
+        // evictions (budget smaller than the checkpoint) fall back to
+        // plain drops, whose chunks are still on disk anyway.
+        self.cache.set_capture_evicted(true);
+        self.spill = Some(store);
+        Ok(if report.chunks > 0 {
+            Some(report)
+        } else {
+            None
+        })
+    }
+
+    /// Writes a checkpoint of the current RAM-resident population to the
+    /// spill tier, so the next session's [`CacheManager::attach_spill`]
+    /// warm-starts from it. Every resident chunk is (re)written and marked
+    /// resident, replacing any previous checkpoint's marks; writes are
+    /// charged to the spill cost model (session accounting).
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, SpillError> {
+        let Some(store) = self.spill.as_mut() else {
+            return Err(SpillError::Corrupt {
+                reason: "no spill tier attached",
+            });
+        };
+        let entries = self.cache.entries_sorted();
+        let (chunks, bytes) = store.checkpoint(
+            entries
+                .into_iter()
+                .map(|(key, e)| (key, origin_code(e.origin), e.benefit, &e.data)),
+        )?;
+        // One per-op charge per chunk plus the byte rate over the total.
+        let cost = store.cost();
+        let virtual_ms =
+            chunks as f64 * cost.write_per_op_ms + bytes as f64 * cost.write_per_byte_us / 1000.0;
+        self.spill_session.merge(&SpillMetrics {
+            spill_writes: chunks,
+            bytes_written: bytes,
+            spill_virtual_ms: virtual_ms,
+            ..SpillMetrics::default()
+        });
+        Ok(CheckpointReport {
+            chunks,
+            bytes,
+            virtual_ms,
+        })
     }
 
     /// Runs one cache lookup without executing anything — the probe used by
@@ -583,6 +779,7 @@ impl CacheManager {
         let replacing = self.cache.contains(&key);
         let size = data.len() as u32;
         let outcome = self.cache.insert(key, data, origin, benefit);
+        self.demote_evicted(key);
         if replacing && (outcome.admitted || outcome.evicted.contains(&key)) {
             // The old entry under `key` was dropped to make room for its
             // replacement (the `evicted` arm covers the cache's defensive
@@ -605,6 +802,110 @@ impl CacheManager {
             self.version += 1;
         }
         (outcome.admitted, t.elapsed().as_nanos() as u64)
+    }
+
+    /// Demotes the replacement-policy victims of the last insert to the
+    /// spill tier instead of letting them drop. A no-op without an
+    /// attached spill tier (the capture buffer stays empty). The old entry
+    /// under a replaced key is *not* preserved — its replacement
+    /// supersedes it — and a victim whose bytes are already on disk (an
+    /// evicted promotion) is re-marked for free.
+    ///
+    /// A failed disk write degrades to a plain eviction: the victim is
+    /// gone from RAM either way, and the caller's `on_evict` propagation —
+    /// which never depends on this demotion — keeps the count/cost tables
+    /// consistent (the mirror of PR 4's refused-replace fix).
+    fn demote_evicted(&mut self, inserted: ChunkKey) {
+        let victims = self.cache.drain_evicted();
+        if victims.is_empty() {
+            return;
+        }
+        let Some(store) = self.spill.as_mut() else {
+            return;
+        };
+        let mut delta = SpillMetrics::default();
+        for (vkey, entry) in victims {
+            if vkey == inserted || (entry.origin == Origin::Spilled && store.contains(vkey)) {
+                continue;
+            }
+            let Ok(bytes) =
+                store.write(vkey, origin_code(entry.origin), entry.benefit, &entry.data)
+            else {
+                continue;
+            };
+            let virtual_ms = store.cost().write_ms(bytes);
+            delta.spill_writes += 1;
+            delta.bytes_written += bytes;
+            delta.spill_virtual_ms += virtual_ms;
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::SpillWrite {
+                    gb: vkey.gb.0,
+                    chunk: vkey.chunk,
+                    bytes,
+                    virtual_ms,
+                });
+            }
+        }
+        if delta.spill_writes > 0 {
+            self.charge_spill(&delta);
+        }
+    }
+
+    /// Serves what it can of a query's miss set from the spill tier:
+    /// reads each spilled chunk (charged to the spill cost model), appends
+    /// its cells to the result, and offers it back to the RAM cache at the
+    /// lowest replacement tier ([`Origin::Spilled`]) with its recorded
+    /// benefit. Returns the chunks still missing — the backend's share. A
+    /// chunk whose record fails to read or validate falls back to the
+    /// backend (served correctly either way).
+    fn promote_from_spill(
+        &mut self,
+        gb: GroupById,
+        missing: &[u64],
+        result: &mut ChunkData,
+        metrics: &mut QueryMetrics,
+    ) -> Vec<u64> {
+        let mut still_missing = Vec::with_capacity(missing.len());
+        let mut delta = SpillMetrics::default();
+        for &chunk in missing {
+            let key = ChunkKey::new(gb, chunk);
+            let store = self.spill.as_ref().expect("spill attached");
+            let (record, bytes) = match (store.read(key), store.bytes_of(key)) {
+                (Ok(Some(record)), Some(bytes)) => (record, bytes),
+                _ => {
+                    still_missing.push(chunk);
+                    continue;
+                }
+            };
+            let virtual_ms = store.cost().read_ms(bytes);
+            delta.spill_reads += 1;
+            delta.bytes_read += bytes;
+            delta.spill_virtual_ms += virtual_ms;
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::SpillRead {
+                    gb: gb.0,
+                    chunk,
+                    bytes,
+                    virtual_ms,
+                });
+            }
+            result.append(&record.data);
+            let (admitted, update_ns) =
+                self.admit_chunk(key, record.data, Origin::Spilled, record.benefit);
+            metrics.update_ns += update_ns;
+            delta.spill_promotes += u64::from(admitted);
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::SpillPromote {
+                    gb: gb.0,
+                    chunk,
+                    admitted,
+                });
+            }
+        }
+        if delta.spill_reads > 0 {
+            self.charge_spill(&delta);
+        }
+        still_missing
     }
 
     /// Removes a chunk explicitly (test/experiment support), propagating
@@ -847,6 +1148,7 @@ impl CacheManager {
     /// sequential [`CacheManager::execute`] would produce.
     pub fn apply(&mut self, query: &Query, probe: QueryProbe) -> Result<QueryResult, CacheError> {
         let t_apply = Instant::now();
+        self.spill_query = SpillMetrics::default();
         let probe = if probe.version == self.version {
             probe
         } else {
@@ -956,9 +1258,20 @@ impl CacheManager {
             }
         }
 
-        // Phase 3: one batched backend query for everything missing.
+        // Phase 3: promote spilled chunks, then one batched backend query
+        // for whatever is still missing. `complete_hit` keeps meaning
+        // "answered from RAM alone", so it is decided by the pre-promotion
+        // miss set; promoted chunks likewise stay counted in
+        // `chunks_missed` — the spill tier changes where a miss is served
+        // from, not whether the RAM cache missed.
+        let had_missing = !missing.is_empty();
+        metrics.chunks_missed = missing.len();
+        let missing = if had_missing && self.spill.is_some() {
+            self.promote_from_spill(query.gb, &missing, &mut result, &mut metrics)
+        } else {
+            missing
+        };
         if !missing.is_empty() {
-            metrics.chunks_missed = missing.len();
             match self.backend.fetch(query.gb, &missing) {
                 Ok(fetch) => {
                     metrics.backend_virtual_ms += fetch.virtual_ms;
@@ -996,7 +1309,7 @@ impl CacheManager {
             }
         }
 
-        metrics.complete_hit = missing.is_empty();
+        metrics.complete_hit = !had_missing;
         metrics.table_writes = self.tables.updates() - writes_before;
         metrics.apply_ns = t_apply.elapsed().as_nanos() as u64;
         self.finish_metrics(&mut metrics, trace_id, query.gb, tenant);
@@ -1103,10 +1416,16 @@ impl CacheManager {
     ///
     /// The returned [`ExecOutcome`] carries the same data and metrics as
     /// the legacy `execute*` quartet, plus an all-zero
-    /// [`crate::RemoteMetrics`].
+    /// [`crate::RemoteMetrics`] and this request's [`SpillMetrics`]
+    /// (all-zero without an attached spill tier).
     pub fn run(&mut self, request: &QueryRequest) -> Result<ExecOutcome, CacheError> {
         let probe = self.probe_as(&request.query, request.tenant);
-        self.apply(&request.query, probe).map(ExecOutcome::from)
+        let result = self.apply(&request.query, probe)?;
+        let spill = self.spill_query;
+        let mut out = ExecOutcome::from(result);
+        out.critical_path_ms += spill.spill_virtual_ms;
+        out.spill = spill;
+        Ok(out)
     }
 
     /// Executes a batch of [`QueryRequest`]s: the probe phase runs for all
@@ -1124,7 +1443,12 @@ impl CacheManager {
         Ok(self
             .execute_batch_inner(&tagged)?
             .into_iter()
-            .map(ExecOutcome::from)
+            .map(|(result, spill)| {
+                let mut out = ExecOutcome::from(result);
+                out.critical_path_ms += spill.spill_virtual_ms;
+                out.spill = spill;
+                out
+            })
             .collect())
     }
 
@@ -1165,7 +1489,11 @@ impl CacheManager {
     )]
     pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, CacheError> {
         let tagged: Vec<(u32, &Query)> = queries.iter().map(|q| (0, q)).collect();
-        self.execute_batch_inner(&tagged)
+        Ok(self
+            .execute_batch_inner(&tagged)?
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect())
     }
 
     /// Batched execution with per-query tenant attribution: the probe and
@@ -1182,13 +1510,19 @@ impl CacheManager {
         queries: &[(u32, Query)],
     ) -> Result<Vec<QueryResult>, CacheError> {
         let tagged: Vec<(u32, &Query)> = queries.iter().map(|(t, q)| (*t, q)).collect();
-        self.execute_batch_inner(&tagged)
+        Ok(self
+            .execute_batch_inner(&tagged)?
+            .into_iter()
+            .map(|(r, _)| r)
+            .collect())
     }
 
+    /// Threaded probe + sequential apply; each result is paired with its
+    /// query's spill accounting (all zeros without a spill tier).
     fn execute_batch_inner(
         &mut self,
         queries: &[(u32, &Query)],
-    ) -> Result<Vec<QueryResult>, CacheError> {
+    ) -> Result<Vec<(QueryResult, SpillMetrics)>, CacheError> {
         let threads = self.config.threads.clamp(1, queries.len().max(1));
         let probes: Vec<QueryProbe> = if threads <= 1 {
             queries
@@ -1226,7 +1560,10 @@ impl CacheManager {
         queries
             .iter()
             .zip(probes)
-            .map(|(&(_, query), probe)| self.apply(query, probe))
+            .map(|(&(_, query), probe)| {
+                let result = self.apply(query, probe)?;
+                Ok((result, self.spill_query))
+            })
             .collect()
     }
 
@@ -2033,5 +2370,241 @@ mod tests {
             }
             other => panic!("expected BadLevelArity, got {other:?}"),
         }
+    }
+
+    fn spill_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("aggcache-mgr-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spill_manager(tag: &str, cache_bytes: usize) -> CacheManager {
+        CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(cache_bytes)
+            .spill(SpillConfig::new(spill_dir(tag)))
+            .build(make_backend())
+            .unwrap()
+    }
+
+    /// Asserts the incrementally maintained count table equals one rebuilt
+    /// from scratch over the current RAM population (Property 1).
+    fn assert_counts_consistent(mgr: &CacheManager) {
+        let rebuilt = CountTable::rebuild_from(mgr.grid().clone(), |k| mgr.cache().contains(&k));
+        rebuilt.assert_same(mgr.counts().expect("VCM strategy maintains counts"));
+    }
+
+    #[test]
+    fn eviction_demotes_to_spill_and_miss_promotes_from_disk() {
+        // Budget of exactly two 80-byte base chunks.
+        let mut mgr = spill_manager("demote", 160);
+        let base = mgr.grid().schema().lattice().base();
+        for chunk in 0..3 {
+            run_and_check(&mut mgr, &Query::new(base, vec![chunk]));
+        }
+        // Chunk 0 was evicted to make room for chunk 2 — demoted, not lost.
+        let store = mgr.spill_store().unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(ChunkKey::new(base, 0)));
+        assert_eq!(mgr.session_spill().spill_writes, 1);
+        assert_counts_consistent(&mgr);
+
+        // Re-query the demoted chunk: served from disk, not the backend.
+        let q = Query::new(base, vec![0]);
+        let expected = oracle(&mgr, &q);
+        let mut out = mgr.run(&(&q).into()).unwrap();
+        out.data.sort_by_coords();
+        assert_eq!(out.data, expected);
+        assert_eq!(out.metrics.backend_virtual_ms, 0.0);
+        assert_eq!(
+            out.metrics.chunks_missed, 1,
+            "spill serve is still a RAM miss"
+        );
+        assert!(!out.metrics.complete_hit);
+        assert_eq!(out.spill.spill_reads, 1);
+        assert!(out.spill.spill_virtual_ms > 0.0);
+        // The RAM cache is full of backend-tier chunks, which a spilled-tier
+        // promotion may not displace — the promotion is refused but the
+        // query is still answered from the read bytes.
+        assert_eq!(out.spill.spill_promotes, 0);
+        // Spill cost stays outside QueryMetrics; the end-to-end total adds it.
+        assert!(
+            (out.total_virtual_ms() - out.metrics.total_ms() - out.spill.spill_virtual_ms).abs()
+                < 1e-12
+        );
+        assert_counts_consistent(&mgr);
+    }
+
+    #[test]
+    fn promotion_is_admitted_when_room_exists() {
+        let mut mgr = spill_manager("promote", usize::MAX >> 1);
+        let base = mgr.grid().schema().lattice().base();
+        run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        mgr.checkpoint().unwrap();
+        mgr.evict_chunk(ChunkKey::new(base, 0));
+        assert_counts_consistent(&mgr);
+
+        let m = run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        assert_eq!(m.backend_virtual_ms, 0.0);
+        assert_eq!(mgr.session_spill().spill_reads, 1);
+        assert_eq!(mgr.session_spill().spill_promotes, 1);
+        assert_counts_consistent(&mgr);
+        // Promoted chunk is now RAM-resident: the next query is a pure hit.
+        let m = run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        assert!(m.complete_hit);
+        assert_eq!(mgr.session_spill().spill_reads, 1, "no second disk read");
+    }
+
+    #[test]
+    fn warm_start_matches_never_restarted_oracle() {
+        let dir = spill_dir("warm");
+        let grid;
+        let top_q;
+        // Session A: populate (fetched + computed chunks), checkpoint.
+        let mut a = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .spill(SpillConfig::new(dir.clone()))
+            .build(make_backend())
+            .unwrap();
+        {
+            grid = a.grid().clone();
+            let lattice = grid.schema().lattice().clone();
+            run_and_check(&mut a, &Query::full_group_by(&grid, lattice.base()));
+            top_q = Query::full_group_by(&grid, lattice.top());
+            run_and_check(&mut a, &top_q);
+            let report = a.checkpoint().unwrap();
+            assert!(report.chunks > 0);
+            assert!(report.virtual_ms > 0.0);
+        }
+        // Session B: a fresh manager over the same directory warm-starts.
+        let mut b = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .spill(SpillConfig::new(dir))
+            .build(make_backend())
+            .unwrap();
+        assert!(b.session_spill().spill_reads > 0, "warm start read chunks");
+        // Same RAM population, bit-identical count tables.
+        assert_eq!(
+            b.cache().entries_sorted().len(),
+            a.cache().entries_sorted().len()
+        );
+        b.counts().unwrap().assert_same(a.counts().unwrap());
+        assert_counts_consistent(&b);
+        // Identical answers with identical local metrics: a complete hit
+        // with zero backend cost, same as the never-restarted session.
+        let mut ra = a.run(&(&top_q).into()).unwrap();
+        let mut rb = b.run(&(&top_q).into()).unwrap();
+        ra.data.sort_by_coords();
+        rb.data.sort_by_coords();
+        assert_eq!(ra.data, rb.data);
+        assert!(rb.metrics.complete_hit);
+        assert_eq!(
+            ra.metrics.total_ms().to_bits(),
+            rb.metrics.total_ms().to_bits()
+        );
+    }
+
+    #[test]
+    fn attach_spill_reports_warm_start() {
+        let dir = spill_dir("report");
+        let mut a = spill_manager_over(dir.clone(), 160);
+        let base = a.grid().schema().lattice().base();
+        run_and_check(&mut a, &Query::new(base, vec![0]));
+        a.checkpoint().unwrap();
+        drop(a);
+        let mut b = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(160)
+            .build(make_backend())
+            .unwrap();
+        let report = b
+            .attach_spill(SpillConfig::new(dir))
+            .unwrap()
+            .expect("checkpoint present");
+        assert_eq!(report.chunks, 1);
+        assert!(report.bytes > 0);
+        assert!(report.virtual_ms > 0.0);
+        let m = run_and_check(&mut b, &Query::new(base, vec![0]));
+        assert!(m.complete_hit);
+    }
+
+    fn spill_manager_over(dir: std::path::PathBuf, cache_bytes: usize) -> CacheManager {
+        CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(cache_bytes)
+            .spill(SpillConfig::new(dir))
+            .build(make_backend())
+            .unwrap()
+    }
+
+    /// The PR 8 bugfix regression: a demotion whose disk write fails must
+    /// degrade to a plain eviction — `on_evict` still fires, so the count
+    /// tables stay consistent with the RAM population, and the chunk is
+    /// simply re-fetched from the backend next time.
+    #[test]
+    fn failed_spill_write_falls_back_to_plain_eviction() {
+        let mut mgr = spill_manager("failwrite", 160);
+        let base = mgr.grid().schema().lattice().base();
+        run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        run_and_check(&mut mgr, &Query::new(base, vec![1]));
+        mgr.spill_store_mut().unwrap().fail_next_writes(1);
+        // Evicts chunk 0; its demotion write fails.
+        run_and_check(&mut mgr, &Query::new(base, vec![2]));
+        let store = mgr.spill_store().unwrap();
+        assert_eq!(store.len(), 0, "failed write must not land in the index");
+        assert!(!mgr.cache().contains(&ChunkKey::new(base, 0)));
+        assert_eq!(mgr.session_spill().spill_writes, 0);
+        // The fix: the count table wound down despite the failed demotion.
+        assert_counts_consistent(&mgr);
+        // And the chunk is served by the backend again, correctly.
+        let m = run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        assert!(m.backend_virtual_ms > 0.0);
+        assert_counts_consistent(&mgr);
+    }
+
+    #[test]
+    fn spill_events_reach_the_tracer() {
+        let tracer = Arc::new(RecordingTracer::new());
+        let dir = spill_dir("events");
+        let mut a = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(160)
+            .tracer(tracer.clone())
+            .spill(SpillConfig::new(dir.clone()))
+            .build(make_backend())
+            .unwrap();
+        let base = a.grid().schema().lattice().base();
+        for chunk in 0..3 {
+            let q = Query::new(base, vec![chunk]);
+            let _ = a.run(&(&q).into()).unwrap();
+        }
+        let _ = a.run(&(&Query::new(base, vec![0])).into()).unwrap();
+        a.checkpoint().unwrap();
+        let kinds: Vec<&'static str> = tracer.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"spill_write"));
+        assert!(kinds.contains(&"spill_read"));
+        assert!(kinds.contains(&"spill_promote"));
+        drop(a);
+        // A traced warm start emits the warm_start event.
+        let tracer2 = Arc::new(RecordingTracer::new());
+        let _b = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(160)
+            .tracer(tracer2.clone())
+            .spill(SpillConfig::new(dir))
+            .build(make_backend())
+            .unwrap();
+        let kinds: Vec<&'static str> = tracer2.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"warm_start"));
     }
 }

@@ -149,6 +149,44 @@ impl RemoteMetrics {
     }
 }
 
+/// Spill-tier accounting for one request: demotions written, promotions
+/// read from disk, with their modeled virtual cost.
+///
+/// All zeros when no spill tier is attached — which is what keeps the
+/// spill-disabled pipeline bit-identical to every pre-spill figure.
+/// Deliberately kept *outside* [`QueryMetrics`], exactly like
+/// [`RemoteMetrics`]: `QueryMetrics::total_ms` remains the sum of its four
+/// local virtual components (an invariant `trace_check` enforces), and the
+/// end-to-end time including disk traffic is
+/// [`ExecOutcome::total_virtual_ms`].
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct SpillMetrics {
+    /// Chunks demoted to disk by evictions this request triggered.
+    pub spill_writes: u64,
+    /// Chunks read back from the spill tier for this request.
+    pub spill_reads: u64,
+    /// Read-back chunks the RAM cache re-admitted.
+    pub spill_promotes: u64,
+    /// Serialized bytes written to disk.
+    pub bytes_written: u64,
+    /// Serialized bytes read from disk.
+    pub bytes_read: u64,
+    /// Virtual milliseconds charged by the spill cost model.
+    pub spill_virtual_ms: f64,
+}
+
+impl SpillMetrics {
+    /// Folds another request's spill accounting into this one.
+    pub fn merge(&mut self, other: &SpillMetrics) {
+        self.spill_writes += other.spill_writes;
+        self.spill_reads += other.spill_reads;
+        self.spill_promotes += other.spill_promotes;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+        self.spill_virtual_ms += other.spill_virtual_ms;
+    }
+}
+
 /// The outcome of one [`QueryRequest`]: result cells, the local cost
 /// breakdown, and (for clustered execution) the remote accounting.
 #[derive(Debug)]
@@ -160,6 +198,8 @@ pub struct ExecOutcome {
     pub metrics: QueryMetrics,
     /// Remote accounting; all zeros off-cluster.
     pub remote: RemoteMetrics,
+    /// Spill-tier accounting; all zeros when no spill tier is attached.
+    pub spill: SpillMetrics,
     /// End-to-end *latency* in virtual milliseconds under fan-out
     /// parallelism: a cluster executes a request's per-node sub-queries
     /// concurrently, so this is the slowest node group's local total plus
@@ -170,12 +210,13 @@ pub struct ExecOutcome {
 }
 
 impl ExecOutcome {
-    /// End-to-end virtual milliseconds of *work* including the
-    /// message-cost model: `metrics.total_ms() + remote.remote_virtual_ms`.
-    /// For fanned-out cluster execution this sums every node group; the
-    /// parallel-latency view is [`ExecOutcome::critical_path_ms`].
+    /// End-to-end virtual milliseconds of *work* including the message and
+    /// spill cost models: `metrics.total_ms() + remote.remote_virtual_ms +
+    /// spill.spill_virtual_ms`. For fanned-out cluster execution this sums
+    /// every node group; the parallel-latency view is
+    /// [`ExecOutcome::critical_path_ms`].
     pub fn total_virtual_ms(&self) -> f64 {
-        self.metrics.total_ms() + self.remote.remote_virtual_ms
+        self.metrics.total_ms() + self.remote.remote_virtual_ms + self.spill.spill_virtual_ms
     }
 
     /// Converts into the legacy [`QueryResult`] (drops remote accounting).
@@ -194,6 +235,7 @@ impl From<QueryResult> for ExecOutcome {
             data: r.data,
             metrics: r.metrics,
             remote: RemoteMetrics::default(),
+            spill: SpillMetrics::default(),
         }
     }
 }
@@ -231,9 +273,13 @@ mod tests {
                 remote_virtual_ms: 2.5,
                 ..Default::default()
             },
-            critical_path_ms: 12.5,
+            spill: SpillMetrics {
+                spill_virtual_ms: 0.5,
+                ..Default::default()
+            },
+            critical_path_ms: 13.0,
         };
-        assert!((out.total_virtual_ms() - 12.5).abs() < 1e-12);
+        assert!((out.total_virtual_ms() - 13.0).abs() < 1e-12);
         let r = out.into_result();
         assert!((r.metrics.total_ms() - 10.0).abs() < 1e-12);
     }

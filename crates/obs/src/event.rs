@@ -34,13 +34,17 @@ impl LookupOutcome {
 }
 
 /// The replacement tier a chunk belongs to — the paper's two benefit
-/// classes (§6.1): fetched from the backend vs. computed in the cache.
+/// classes (§6.1): fetched from the backend vs. computed in the cache,
+/// plus the persistence tier's third class for chunks promoted from disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
     /// Fetched from the backend (expensive to reproduce).
     Fetched,
     /// Computed by aggregating cached chunks (cheap to reproduce).
     Computed,
+    /// Promoted from the disk spill tier (cheapest to reproduce — the
+    /// bytes are still on disk). Absent unless a spill tier is attached.
+    Spilled,
 }
 
 impl Tier {
@@ -49,6 +53,7 @@ impl Tier {
         match self {
             Self::Fetched => "fetched",
             Self::Computed => "computed",
+            Self::Spilled => "spilled",
         }
     }
 }
@@ -286,6 +291,50 @@ pub enum Event {
         /// Payload bytes shipped.
         bytes: u64,
     },
+    /// An evicted chunk was demoted to the disk spill tier instead of
+    /// being dropped.
+    SpillWrite {
+        /// Group-by id of the demoted chunk.
+        gb: u32,
+        /// Chunk number demoted.
+        chunk: u64,
+        /// Serialized bytes written.
+        bytes: u64,
+        /// Virtual milliseconds charged by the spill cost model.
+        virtual_ms: f64,
+    },
+    /// A spilled chunk was read back from disk to answer a query miss.
+    SpillRead {
+        /// Group-by id of the chunk read.
+        gb: u32,
+        /// Chunk number read.
+        chunk: u64,
+        /// Serialized bytes read.
+        bytes: u64,
+        /// Virtual milliseconds charged by the spill cost model.
+        virtual_ms: f64,
+    },
+    /// A chunk read from the spill tier was offered back to the RAM cache
+    /// (the promotion following a [`Event::SpillRead`]).
+    SpillPromote {
+        /// Group-by id of the promoted chunk.
+        gb: u32,
+        /// Chunk number promoted.
+        chunk: u64,
+        /// Whether the RAM cache admitted it (a refused promotion still
+        /// answers the query from the read bytes).
+        admitted: bool,
+    },
+    /// A restarted cache manager rebuilt its RAM population from the spill
+    /// tier's checkpoint.
+    WarmStart {
+        /// Chunks re-admitted from the checkpoint.
+        chunks: u64,
+        /// Serialized bytes read from disk.
+        bytes: u64,
+        /// Virtual milliseconds charged for the recovery reads.
+        virtual_ms: f64,
+    },
     /// A cluster node went down (its cache contents are lost).
     NodeDown {
         /// The failed node.
@@ -369,6 +418,10 @@ impl Event {
             Event::ShardAgg { .. } => "shard_agg",
             Event::RemoteServe { .. } => "remote_serve",
             Event::Handoff { .. } => "handoff",
+            Event::SpillWrite { .. } => "spill_write",
+            Event::SpillRead { .. } => "spill_read",
+            Event::SpillPromote { .. } => "spill_promote",
+            Event::WarmStart { .. } => "warm_start",
             Event::NodeDown { .. } => "node_down",
             Event::NodeUp { .. } => "node_up",
             Event::QueryDone { .. } => "query_done",
@@ -615,6 +668,44 @@ impl Event {
                 field_u(out, "from_node", u64::from(*from_node));
                 field_u(out, "to_node", u64::from(*to_node));
                 field_u(out, "bytes", *bytes);
+            }
+            Event::SpillWrite {
+                gb,
+                chunk,
+                bytes,
+                virtual_ms,
+            }
+            | Event::SpillRead {
+                gb,
+                chunk,
+                bytes,
+                virtual_ms,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "bytes", *bytes);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::SpillPromote {
+                gb,
+                chunk,
+                admitted,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                out.push_str(",\"admitted\":");
+                out.push_str(if *admitted { "true" } else { "false" });
+            }
+            Event::WarmStart {
+                chunks,
+                bytes,
+                virtual_ms,
+            } => {
+                field_u(out, "chunks", *chunks);
+                field_u(out, "bytes", *bytes);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
             }
             Event::NodeDown { node } => {
                 field_u(out, "node", u64::from(*node));

@@ -441,9 +441,44 @@ impl Tracer for MetricsRegistry {
                     match tier {
                         Tier::Fetched => "evictions_fetched",
                         Tier::Computed => "evictions_computed",
+                        Tier::Spilled => "evictions_spilled",
                     },
                     1,
                 );
+            }
+            Event::SpillWrite {
+                bytes, virtual_ms, ..
+            } => {
+                inner.bump("spill_writes", 1);
+                inner.bump("spill_bytes_written", *bytes);
+                inner.virt("spill_write", virtual_ms * 1000.0);
+            }
+            Event::SpillRead {
+                bytes, virtual_ms, ..
+            } => {
+                inner.bump("spill_reads", 1);
+                inner.bump("spill_bytes_read", *bytes);
+                inner.virt("spill_read", virtual_ms * 1000.0);
+            }
+            Event::SpillPromote { admitted, .. } => {
+                inner.bump(
+                    if *admitted {
+                        "spill_promotes_admitted"
+                    } else {
+                        "spill_promotes_refused"
+                    },
+                    1,
+                );
+            }
+            Event::WarmStart {
+                chunks,
+                bytes,
+                virtual_ms,
+            } => {
+                inner.bump("warm_starts", 1);
+                inner.bump("warm_start_chunks", *chunks);
+                inner.bump("spill_bytes_read", *bytes);
+                inner.virt("warm_start", virtual_ms * 1000.0);
             }
             Event::GroupBoost { .. } => inner.bump("group_boosts", 1),
             Event::CountUpdate { writes, .. } => {

@@ -24,6 +24,7 @@ mod fault;
 mod net;
 mod retry;
 mod source;
+mod spill;
 
 pub use aggregate::{
     aggregate_to_level, aggregate_to_level_parallel, aggregate_to_level_parallel_traced, AggFn,
@@ -35,3 +36,8 @@ pub use fault::{FaultInjectingBackend, FaultProfile, FaultProfileError};
 pub use net::{MessageCostError, MessageCostModel};
 pub use retry::{RetryPolicy, RetryPolicyError, RetryingBackend};
 pub use source::BackendSource;
+pub use spill::{
+    decode_record, encode_record, spill_checksum, SpillConfig, SpillCostModel, SpillError,
+    SpillRecord, SpillStore, ORIGIN_BACKEND, ORIGIN_COMPUTED, ORIGIN_SPILLED, SPILL_FORMAT_VERSION,
+    SPILL_HEADER_BYTES, SPILL_INDEX_MAGIC, SPILL_MAGIC,
+};

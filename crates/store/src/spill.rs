@@ -1,0 +1,830 @@
+//! The persistent second-tier chunk store: chunks evicted from RAM are
+//! *demoted* to disk instead of destroyed, and promoted back on demand.
+//!
+//! The on-disk representation is `SpillFormat` v1 — a versioned,
+//! length-prefixed, checksummed serialization of one columnar
+//! [`ChunkData`] per file, specified byte-for-byte in `docs/FORMAT.md`
+//! (the normative spec; the golden-file test in `tests/spill.rs` fails if
+//! the bytes drift from it). Alongside the chunk files, [`SpillStore`]
+//! persists a small index (`spill.idx`) recording which chunks were
+//! RAM-resident at the last checkpoint, so a restarted cache manager can
+//! warm-start with exactly the chunk population it shut down with.
+//!
+//! Disk traffic is charged to the same deterministic virtual clock as
+//! backend fetches, through a validated [`SpillCostModel`] — and kept
+//! strictly *outside* `QueryMetrics`, like the cluster tier's
+//! `RemoteMetrics`, so the `total = backend + agg + lookup + update`
+//! invariant is untouched.
+
+use aggcache_chunks::{ChunkData, ChunkKey};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every `SpillFormat` chunk record (`b"ACSP"`).
+pub const SPILL_MAGIC: [u8; 4] = *b"ACSP";
+/// Magic bytes opening the spill index file (`b"ACSI"`).
+pub const SPILL_INDEX_MAGIC: [u8; 4] = *b"ACSI";
+/// The `SpillFormat` version this build writes and reads.
+pub const SPILL_FORMAT_VERSION: u16 = 1;
+/// Fixed byte length of the v1 record header (everything before the
+/// coordinate block's length prefix).
+pub const SPILL_HEADER_BYTES: usize = 32;
+/// Origin code for a backend-fetched chunk (see `docs/FORMAT.md`).
+pub const ORIGIN_BACKEND: u8 = 0;
+/// Origin code for a chunk computed by in-cache aggregation.
+pub const ORIGIN_COMPUTED: u8 = 1;
+/// Origin code for a chunk that re-entered RAM from the spill tier.
+pub const ORIGIN_SPILLED: u8 = 2;
+
+const INDEX_ENTRY_BYTES: usize = 24;
+const INDEX_HEADER_BYTES: usize = 12;
+const INDEX_FILE: &str = "spill.idx";
+
+/// Errors from the spill tier: I/O failures, malformed or corrupt records,
+/// and invalid cost configuration.
+#[derive(Debug)]
+pub enum SpillError {
+    /// An operating-system I/O failure (message includes the operation).
+    Io {
+        /// The operation that failed (`"create dir"`, `"write chunk"`, …).
+        op: &'static str,
+        /// The OS error rendered as text.
+        error: String,
+    },
+    /// The record does not open with [`SPILL_MAGIC`] (or the index with
+    /// [`SPILL_INDEX_MAGIC`]).
+    BadMagic,
+    /// The record's format version is not readable by this build.
+    BadVersion {
+        /// The version found on disk.
+        found: u16,
+    },
+    /// A structural violation: truncated buffer, length prefix mismatch,
+    /// or a key that disagrees with the index.
+    Corrupt {
+        /// What was violated.
+        reason: &'static str,
+    },
+    /// The trailing checksum does not match the record bytes.
+    BadChecksum,
+    /// A cost-model rate is negative, NaN or infinite.
+    BadCost {
+        /// The offending field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A deterministic write failure injected by
+    /// `SpillStore::fail_next_writes` (test support).
+    Injected,
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { op, error } => write!(f, "spill {op}: {error}"),
+            Self::BadMagic => write!(f, "spill record: bad magic"),
+            Self::BadVersion { found } => {
+                write!(
+                    f,
+                    "spill record: format version {found} (this build reads {SPILL_FORMAT_VERSION})"
+                )
+            }
+            Self::Corrupt { reason } => write!(f, "spill record corrupt: {reason}"),
+            Self::BadChecksum => write!(f, "spill record: checksum mismatch"),
+            Self::BadCost { field, value } => {
+                write!(
+                    f,
+                    "spill cost model: {field} = {value} must be finite and >= 0"
+                )
+            }
+            Self::Injected => write!(f, "spill write failure (injected)"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {}
+
+fn io_err(op: &'static str, e: std::io::Error) -> SpillError {
+    SpillError::Io {
+        op,
+        error: e.to_string(),
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the `SpillFormat` checksum (no
+/// dependencies, byte-order independent, specified in `docs/FORMAT.md`).
+pub fn spill_checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Virtual cost of spill-tier disk traffic: a per-operation seek/dispatch
+/// latency plus a per-byte transfer rate, for writes (demotions,
+/// checkpoints) and reads (promotions, warm starts) separately.
+///
+/// Costs are deterministic virtual milliseconds / microseconds in the same
+/// domain as [`crate::BackendCostModel`] — never wall clock. The defaults
+/// make a promotion read of a 20-byte accounting tuple cost ≈1 µs, about
+/// 4× cheaper than the backend's ≈4 µs/tuple scan: the disk tier pays off
+/// exactly when it spares a backend round trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillCostModel {
+    /// Virtual milliseconds per write operation (seek + dispatch).
+    pub write_per_op_ms: f64,
+    /// Virtual microseconds per byte written.
+    pub write_per_byte_us: f64,
+    /// Virtual milliseconds per read operation (seek + dispatch).
+    pub read_per_op_ms: f64,
+    /// Virtual microseconds per byte read.
+    pub read_per_byte_us: f64,
+}
+
+impl Default for SpillCostModel {
+    fn default() -> Self {
+        Self {
+            write_per_op_ms: 0.2,
+            write_per_byte_us: 0.05,
+            read_per_op_ms: 0.2,
+            read_per_byte_us: 0.05,
+        }
+    }
+}
+
+impl SpillCostModel {
+    /// A free disk: every operation costs zero virtual time. Useful for
+    /// isolating population effects from transfer costs.
+    pub fn free() -> Self {
+        Self {
+            write_per_op_ms: 0.0,
+            write_per_byte_us: 0.0,
+            read_per_op_ms: 0.0,
+            read_per_byte_us: 0.0,
+        }
+    }
+
+    /// Validates that every rate is finite and non-negative.
+    pub fn validate(&self) -> Result<(), SpillError> {
+        for (field, value) in [
+            ("write_per_op_ms", self.write_per_op_ms),
+            ("write_per_byte_us", self.write_per_byte_us),
+            ("read_per_op_ms", self.read_per_op_ms),
+            ("read_per_byte_us", self.read_per_byte_us),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SpillError::BadCost { field, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Virtual milliseconds for one write of `bytes`.
+    pub fn write_ms(&self, bytes: u64) -> f64 {
+        self.write_per_op_ms + bytes as f64 * self.write_per_byte_us / 1000.0
+    }
+
+    /// Virtual milliseconds for one read of `bytes`.
+    pub fn read_ms(&self, bytes: u64) -> f64 {
+        self.read_per_op_ms + bytes as f64 * self.read_per_byte_us / 1000.0
+    }
+}
+
+/// Configuration of a [`SpillStore`]: the spill directory and the virtual
+/// cost model its traffic is charged under.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory holding the chunk files and the index (created if absent).
+    pub dir: PathBuf,
+    /// Virtual cost model for disk traffic.
+    pub cost: SpillCostModel,
+}
+
+impl SpillConfig {
+    /// A configuration over `dir` with the default cost model.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            cost: SpillCostModel::default(),
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn cost(mut self, cost: SpillCostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Validates the cost model (the directory is validated on open).
+    pub fn validate(&self) -> Result<(), SpillError> {
+        self.cost.validate()
+    }
+}
+
+/// One decoded `SpillFormat` record: the chunk plus its replacement
+/// metadata, exactly as serialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillRecord {
+    /// The chunk's key.
+    pub key: ChunkKey,
+    /// Origin code ([`ORIGIN_BACKEND`] / [`ORIGIN_COMPUTED`] /
+    /// [`ORIGIN_SPILLED`]).
+    pub origin: u8,
+    /// The replacement benefit the chunk carried when demoted.
+    pub benefit: f64,
+    /// The chunk's cells.
+    pub data: ChunkData,
+}
+
+/// Serializes one chunk as a `SpillFormat` v1 record — the byte-level
+/// layout is specified normatively in `docs/FORMAT.md`. The encoding is a
+/// pure function of its inputs (no timestamps, no platform state), so
+/// records are bit-identical across runs and machines.
+pub fn encode_record(key: ChunkKey, origin: u8, benefit: f64, data: &ChunkData) -> Vec<u8> {
+    let n_dims = data.n_dims();
+    let n_cells = data.len();
+    let coord_bytes = n_cells * n_dims * 4;
+    let value_bytes = n_cells * 8;
+    let mut out = Vec::with_capacity(SPILL_HEADER_BYTES + 8 + coord_bytes + value_bytes + 8);
+    out.extend_from_slice(&SPILL_MAGIC);
+    out.extend_from_slice(&SPILL_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved, must be 0)
+    out.extend_from_slice(&key.pack().to_le_bytes());
+    out.push(origin);
+    out.push(0); // reserved, must be 0
+    out.extend_from_slice(&(n_dims as u16).to_le_bytes());
+    out.extend_from_slice(&(n_cells as u32).to_le_bytes());
+    out.extend_from_slice(&benefit.to_bits().to_le_bytes());
+    debug_assert_eq!(out.len(), SPILL_HEADER_BYTES);
+    out.extend_from_slice(&(coord_bytes as u32).to_le_bytes());
+    for &c in data.raw_coords() {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    out.extend_from_slice(&(value_bytes as u32).to_le_bytes());
+    for &v in data.raw_values() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    let checksum = spill_checksum(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn take<const N: usize>(bytes: &[u8], at: usize) -> Result<[u8; N], SpillError> {
+    bytes
+        .get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(SpillError::Corrupt {
+            reason: "record truncated",
+        })
+}
+
+/// Decodes (and fully validates) one `SpillFormat` record: magic, version,
+/// length prefixes, structural consistency and the trailing checksum. The
+/// round trip `decode_record(&encode_record(..))` is bit-identical —
+/// coordinates and IEEE-754 value bit patterns survive exactly.
+pub fn decode_record(bytes: &[u8]) -> Result<SpillRecord, SpillError> {
+    if bytes.len() < SPILL_HEADER_BYTES + 8 + 8 {
+        return Err(SpillError::Corrupt {
+            reason: "record shorter than header + prefix + checksum",
+        });
+    }
+    if bytes[0..4] != SPILL_MAGIC {
+        return Err(SpillError::BadMagic);
+    }
+    let version = u16::from_le_bytes(take::<2>(bytes, 4)?);
+    if version != SPILL_FORMAT_VERSION {
+        return Err(SpillError::BadVersion { found: version });
+    }
+    let body_len = bytes.len() - 8;
+    let stored = u64::from_le_bytes(take::<8>(bytes, body_len)?);
+    if spill_checksum(&bytes[..body_len]) != stored {
+        return Err(SpillError::BadChecksum);
+    }
+    let packed = u64::from_le_bytes(take::<8>(bytes, 8)?);
+    let origin = bytes[16];
+    let n_dims = u16::from_le_bytes(take::<2>(bytes, 18)?) as usize;
+    let n_cells = u32::from_le_bytes(take::<4>(bytes, 20)?) as usize;
+    let benefit = f64::from_bits(u64::from_le_bytes(take::<8>(bytes, 24)?));
+    let coord_len = u32::from_le_bytes(take::<4>(bytes, SPILL_HEADER_BYTES)?) as usize;
+    if coord_len != n_cells * n_dims * 4 {
+        return Err(SpillError::Corrupt {
+            reason: "coord block length disagrees with n_cells * n_dims",
+        });
+    }
+    let coords_at = SPILL_HEADER_BYTES + 4;
+    let values_len_at = coords_at + coord_len;
+    let value_len = u32::from_le_bytes(take::<4>(bytes, values_len_at)?) as usize;
+    if value_len != n_cells * 8 {
+        return Err(SpillError::Corrupt {
+            reason: "value block length disagrees with n_cells",
+        });
+    }
+    let values_at = values_len_at + 4;
+    if values_at + value_len != body_len {
+        return Err(SpillError::Corrupt {
+            reason: "record length disagrees with block prefixes",
+        });
+    }
+    let mut coords = Vec::with_capacity(n_cells * n_dims);
+    for i in 0..n_cells * n_dims {
+        coords.push(u32::from_le_bytes(take::<4>(bytes, coords_at + i * 4)?));
+    }
+    let mut values = Vec::with_capacity(n_cells);
+    for i in 0..n_cells {
+        values.push(f64::from_bits(u64::from_le_bytes(take::<8>(
+            bytes,
+            values_at + i * 8,
+        )?)));
+    }
+    Ok(SpillRecord {
+        key: ChunkKey::unpack(packed),
+        origin,
+        benefit,
+        data: ChunkData::from_raw(n_dims, coords, values),
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    benefit: f64,
+    bytes: u32,
+    origin: u8,
+    resident: bool,
+}
+
+/// The disk tier: one `SpillFormat` file per demoted chunk plus a
+/// persisted index, all under one directory.
+///
+/// The in-memory index (a `BTreeMap` keyed on packed chunk keys) makes
+/// [`SpillStore::contains`] free on the query path; iteration order —
+/// and hence warm-start insertion order — is ascending packed key, which
+/// is deterministic regardless of the history that populated the store.
+pub struct SpillStore {
+    dir: PathBuf,
+    cost: SpillCostModel,
+    index: BTreeMap<u64, IndexEntry>,
+    fail_writes: u64,
+}
+
+impl std::fmt::Debug for SpillStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpillStore")
+            .field("dir", &self.dir)
+            .field("chunks", &self.index.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpillStore {
+    /// Opens (creating if necessary) the spill directory, validates the
+    /// cost model, and loads the persisted index if one exists — the warm
+    /// half of a warm restart.
+    pub fn open(config: SpillConfig) -> Result<Self, SpillError> {
+        config.validate()?;
+        std::fs::create_dir_all(&config.dir).map_err(|e| io_err("create dir", e))?;
+        let mut store = Self {
+            dir: config.dir,
+            cost: config.cost,
+            index: BTreeMap::new(),
+            fail_writes: 0,
+        };
+        let idx = store.index_path();
+        if idx.exists() {
+            store.load_index(&idx)?;
+        }
+        Ok(store)
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The cost model disk traffic is charged under.
+    pub fn cost(&self) -> &SpillCostModel {
+        &self.cost
+    }
+
+    /// Number of chunks in the store.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total serialized bytes of all indexed chunks.
+    pub fn bytes_on_disk(&self) -> u64 {
+        self.index.values().map(|e| u64::from(e.bytes)).sum()
+    }
+
+    /// Whether `key` is spilled (an index lookup — no disk access, free on
+    /// the query path).
+    pub fn contains(&self, key: ChunkKey) -> bool {
+        self.index.contains_key(&key.pack())
+    }
+
+    /// Number of chunks marked RAM-resident by the last checkpoint.
+    pub fn resident_count(&self) -> usize {
+        self.index.values().filter(|e| e.resident).count()
+    }
+
+    fn chunk_path(&self, key: ChunkKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.chunk", key.pack()))
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.dir.join(INDEX_FILE)
+    }
+
+    /// Demotes one chunk to disk. Returns the serialized byte count (the
+    /// quantity the write cost is charged over). The chunk is recorded as
+    /// non-resident: residency is a checkpoint-time property.
+    pub fn write(
+        &mut self,
+        key: ChunkKey,
+        origin: u8,
+        benefit: f64,
+        data: &ChunkData,
+    ) -> Result<u64, SpillError> {
+        self.write_flagged(key, origin, benefit, data, false)
+    }
+
+    fn write_flagged(
+        &mut self,
+        key: ChunkKey,
+        origin: u8,
+        benefit: f64,
+        data: &ChunkData,
+        resident: bool,
+    ) -> Result<u64, SpillError> {
+        if self.fail_writes > 0 {
+            self.fail_writes -= 1;
+            return Err(SpillError::Injected);
+        }
+        let encoded = encode_record(key, origin, benefit, data);
+        std::fs::write(self.chunk_path(key), &encoded).map_err(|e| io_err("write chunk", e))?;
+        self.index.insert(
+            key.pack(),
+            IndexEntry {
+                benefit,
+                bytes: encoded.len() as u32,
+                origin,
+                resident,
+            },
+        );
+        Ok(encoded.len() as u64)
+    }
+
+    /// Serialized size on disk of one spilled chunk, from the index (no
+    /// I/O); `None` when the key is not spilled.
+    pub fn bytes_of(&self, key: ChunkKey) -> Option<u64> {
+        self.index.get(&key.pack()).map(|e| u64::from(e.bytes))
+    }
+
+    /// Promotes one chunk from disk: `Ok(None)` when the key is not
+    /// spilled, the fully validated record otherwise. The disk copy is
+    /// retained — a later re-demotion of an unchanged chunk costs nothing.
+    pub fn read(&self, key: ChunkKey) -> Result<Option<SpillRecord>, SpillError> {
+        if !self.contains(key) {
+            return Ok(None);
+        }
+        let bytes = std::fs::read(self.chunk_path(key)).map_err(|e| io_err("read chunk", e))?;
+        let record = decode_record(&bytes)?;
+        if record.key != key {
+            return Err(SpillError::Corrupt {
+                reason: "record key disagrees with index",
+            });
+        }
+        Ok(Some(record))
+    }
+
+    /// Removes one chunk from disk and the index; returns whether it was
+    /// present.
+    pub fn remove(&mut self, key: ChunkKey) -> Result<bool, SpillError> {
+        if self.index.remove(&key.pack()).is_none() {
+            return Ok(false);
+        }
+        std::fs::remove_file(self.chunk_path(key)).map_err(|e| io_err("remove chunk", e))?;
+        Ok(true)
+    }
+
+    /// Checkpoints the RAM-resident population: writes every entry to disk,
+    /// marks exactly those keys resident (clearing the flag on all others),
+    /// and persists the index. A [`SpillStore::open`] over the same
+    /// directory then reports them via [`SpillStore::resident_entries`] —
+    /// the durable half of a warm restart. Returns `(chunks, bytes)`
+    /// written.
+    pub fn checkpoint<'a>(
+        &mut self,
+        resident: impl Iterator<Item = (ChunkKey, u8, f64, &'a ChunkData)>,
+    ) -> Result<(u64, u64), SpillError> {
+        for entry in self.index.values_mut() {
+            entry.resident = false;
+        }
+        let mut chunks = 0u64;
+        let mut bytes = 0u64;
+        for (key, origin, benefit, data) in resident {
+            bytes += self.write_flagged(key, origin, benefit, data, true)?;
+            chunks += 1;
+        }
+        self.persist_index()?;
+        Ok((chunks, bytes))
+    }
+
+    /// The chunks marked resident by the last checkpoint, in ascending
+    /// packed-key order (the deterministic warm-start insertion order):
+    /// `(key, origin, benefit, serialized bytes)`.
+    pub fn resident_entries(&self) -> Vec<(ChunkKey, u8, f64, u64)> {
+        self.index
+            .iter()
+            .filter(|(_, e)| e.resident)
+            .map(|(&packed, e)| {
+                (
+                    ChunkKey::unpack(packed),
+                    e.origin,
+                    e.benefit,
+                    u64::from(e.bytes),
+                )
+            })
+            .collect()
+    }
+
+    /// Persists the index to `spill.idx` (binary, checksummed — layout in
+    /// `docs/FORMAT.md`).
+    pub fn persist_index(&self) -> Result<(), SpillError> {
+        let mut out =
+            Vec::with_capacity(INDEX_HEADER_BYTES + self.index.len() * INDEX_ENTRY_BYTES + 8);
+        out.extend_from_slice(&SPILL_INDEX_MAGIC);
+        out.extend_from_slice(&SPILL_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // flags (reserved)
+        out.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for (&packed, e) in &self.index {
+            out.extend_from_slice(&packed.to_le_bytes());
+            out.extend_from_slice(&e.benefit.to_bits().to_le_bytes());
+            out.extend_from_slice(&e.bytes.to_le_bytes());
+            out.push(e.origin);
+            out.push(u8::from(e.resident));
+            out.extend_from_slice(&0u16.to_le_bytes()); // pad (reserved)
+        }
+        let checksum = spill_checksum(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        std::fs::write(self.index_path(), &out).map_err(|e| io_err("write index", e))
+    }
+
+    fn load_index(&mut self, path: &Path) -> Result<(), SpillError> {
+        let bytes = std::fs::read(path).map_err(|e| io_err("read index", e))?;
+        if bytes.len() < INDEX_HEADER_BYTES + 8 {
+            return Err(SpillError::Corrupt {
+                reason: "index shorter than header + checksum",
+            });
+        }
+        if bytes[0..4] != SPILL_INDEX_MAGIC {
+            return Err(SpillError::BadMagic);
+        }
+        let version = u16::from_le_bytes(take::<2>(&bytes, 4)?);
+        if version != SPILL_FORMAT_VERSION {
+            return Err(SpillError::BadVersion { found: version });
+        }
+        let body_len = bytes.len() - 8;
+        let stored = u64::from_le_bytes(take::<8>(&bytes, body_len)?);
+        if spill_checksum(&bytes[..body_len]) != stored {
+            return Err(SpillError::BadChecksum);
+        }
+        let count = u32::from_le_bytes(take::<4>(&bytes, 8)?) as usize;
+        if INDEX_HEADER_BYTES + count * INDEX_ENTRY_BYTES != body_len {
+            return Err(SpillError::Corrupt {
+                reason: "index length disagrees with entry count",
+            });
+        }
+        self.index.clear();
+        for i in 0..count {
+            let at = INDEX_HEADER_BYTES + i * INDEX_ENTRY_BYTES;
+            let packed = u64::from_le_bytes(take::<8>(&bytes, at)?);
+            let benefit = f64::from_bits(u64::from_le_bytes(take::<8>(&bytes, at + 8)?));
+            let size = u32::from_le_bytes(take::<4>(&bytes, at + 16)?);
+            let origin = bytes[at + 20];
+            let resident = bytes[at + 21] != 0;
+            self.index.insert(
+                packed,
+                IndexEntry {
+                    benefit,
+                    bytes: size,
+                    origin,
+                    resident,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Makes the next `n` chunk writes fail deterministically with
+    /// [`SpillError::Injected`] — test support for the demote-failure
+    /// fallback path (a failed demotion must degrade to a plain eviction,
+    /// never a silent count-table drop).
+    #[doc(hidden)]
+    pub fn fail_next_writes(&mut self, n: u64) {
+        self.fail_writes = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggcache_schema::GroupById;
+
+    fn sample_chunk() -> ChunkData {
+        let mut d = ChunkData::new(2);
+        d.push(&[0, 1], 1.5);
+        d.push(&[2, 3], -4.25);
+        d.push(&[7, 0], 0.0);
+        d
+    }
+
+    fn sample_key() -> ChunkKey {
+        ChunkKey::new(GroupById(3), 7)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("aggcache-spill-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let data = sample_chunk();
+        let enc = encode_record(sample_key(), ORIGIN_COMPUTED, 2.5, &data);
+        let dec = decode_record(&enc).unwrap();
+        assert_eq!(dec.key, sample_key());
+        assert_eq!(dec.origin, ORIGIN_COMPUTED);
+        assert_eq!(dec.benefit.to_bits(), 2.5f64.to_bits());
+        assert_eq!(dec.data.raw_coords(), data.raw_coords());
+        let got: Vec<u64> = dec.data.raw_values().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = data.raw_values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+        // Re-encoding the decoded record reproduces the bytes exactly.
+        assert_eq!(
+            encode_record(dec.key, dec.origin, dec.benefit, &dec.data),
+            enc
+        );
+    }
+
+    #[test]
+    fn empty_chunk_round_trips() {
+        let data = ChunkData::new(3);
+        let enc = encode_record(sample_key(), ORIGIN_BACKEND, 0.0, &data);
+        let dec = decode_record(&enc).unwrap();
+        assert_eq!(dec.data.len(), 0);
+        assert_eq!(dec.data.n_dims(), 3);
+    }
+
+    #[test]
+    fn nan_and_negative_zero_values_survive() {
+        let mut d = ChunkData::new(1);
+        d.push(&[0], f64::NAN);
+        d.push(&[1], -0.0);
+        d.push(&[2], f64::INFINITY);
+        let dec =
+            decode_record(&encode_record(sample_key(), ORIGIN_BACKEND, f64::MAX, &d)).unwrap();
+        let got: Vec<u64> = dec.data.raw_values().iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = d.raw_values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "IEEE-754 bit patterns must survive exactly");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let enc = encode_record(sample_key(), ORIGIN_COMPUTED, 2.5, &sample_chunk());
+        // Flip one payload byte: checksum must catch it.
+        let mut bad = enc.clone();
+        bad[SPILL_HEADER_BYTES + 6] ^= 0x40;
+        assert!(matches!(decode_record(&bad), Err(SpillError::BadChecksum)));
+        // Truncation.
+        assert!(decode_record(&enc[..enc.len() - 3]).is_err());
+        // Wrong magic.
+        let mut bad = enc.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_record(&bad), Err(SpillError::BadMagic)));
+        // Future version (checksum fixed up so only the version differs).
+        let mut bad = enc.clone();
+        bad[4] = 2;
+        let body = bad.len() - 8;
+        let sum = spill_checksum(&bad[..body]).to_le_bytes();
+        bad[body..].copy_from_slice(&sum);
+        assert!(matches!(
+            decode_record(&bad),
+            Err(SpillError::BadVersion { found: 2 })
+        ));
+    }
+
+    #[test]
+    fn store_write_read_remove() {
+        let dir = tmpdir("wrr");
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        assert!(store.is_empty());
+        let data = sample_chunk();
+        let bytes = store
+            .write(sample_key(), ORIGIN_BACKEND, 3.0, &data)
+            .unwrap();
+        assert_eq!(bytes, store.bytes_on_disk());
+        assert!(store.contains(sample_key()));
+        let rec = store.read(sample_key()).unwrap().unwrap();
+        assert_eq!(rec.data.raw_coords(), data.raw_coords());
+        assert!(store
+            .read(ChunkKey::new(GroupById(0), 0))
+            .unwrap()
+            .is_none());
+        assert!(store.remove(sample_key()).unwrap());
+        assert!(!store.remove(sample_key()).unwrap());
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_survives_reopen() {
+        let dir = tmpdir("ckpt");
+        let a = sample_chunk();
+        let mut b = ChunkData::new(2);
+        b.push(&[9, 9], 42.0);
+        let ka = ChunkKey::new(GroupById(1), 5);
+        let kb = ChunkKey::new(GroupById(2), 6);
+        {
+            let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+            // A demoted-but-not-resident chunk must not warm-start.
+            store
+                .write(ChunkKey::new(GroupById(0), 1), ORIGIN_COMPUTED, 1.0, &b)
+                .unwrap();
+            let (chunks, bytes) = store
+                .checkpoint(
+                    [
+                        (ka, ORIGIN_BACKEND, 2.0, &a),
+                        (kb, ORIGIN_COMPUTED, 4.0, &b),
+                    ]
+                    .into_iter(),
+                )
+                .unwrap();
+            assert_eq!(chunks, 2);
+            assert!(bytes > 0);
+        }
+        let store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.resident_count(), 2);
+        let resident = store.resident_entries();
+        let keys: Vec<ChunkKey> = resident.iter().map(|&(k, ..)| k).collect();
+        assert_eq!(keys, vec![ka, kb], "ascending packed-key order");
+        assert_eq!(resident[0].1, ORIGIN_BACKEND);
+        assert_eq!(resident[1].2.to_bits(), 4.0f64.to_bits());
+        let rec = store.read(ka).unwrap().unwrap();
+        assert_eq!(rec.data.raw_coords(), a.raw_coords());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_failure_fails_once_each() {
+        let dir = tmpdir("inject");
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        store.fail_next_writes(2);
+        let d = sample_chunk();
+        assert!(matches!(
+            store.write(sample_key(), ORIGIN_BACKEND, 1.0, &d),
+            Err(SpillError::Injected)
+        ));
+        assert!(matches!(
+            store.write(sample_key(), ORIGIN_BACKEND, 1.0, &d),
+            Err(SpillError::Injected)
+        ));
+        assert!(store.write(sample_key(), ORIGIN_BACKEND, 1.0, &d).is_ok());
+        assert!(!store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_model_validates_and_charges() {
+        assert!(SpillCostModel::default().validate().is_ok());
+        assert!(SpillCostModel::free().validate().is_ok());
+        let bad = SpillCostModel {
+            read_per_byte_us: f64::NAN,
+            ..SpillCostModel::default()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(SpillError::BadCost {
+                field: "read_per_byte_us",
+                ..
+            })
+        ));
+        let m = SpillCostModel {
+            write_per_op_ms: 1.0,
+            write_per_byte_us: 10.0,
+            read_per_op_ms: 2.0,
+            read_per_byte_us: 20.0,
+        };
+        assert!((m.write_ms(500) - 6.0).abs() < 1e-12);
+        assert!((m.read_ms(500) - 12.0).abs() < 1e-12);
+    }
+}

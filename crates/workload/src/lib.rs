@@ -13,7 +13,7 @@
 //! The paper's stream used 30% drill-down, 30% roll-up, 30% proximity and
 //! 10% random — [`QueryMix::paper`].
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod error;
 mod tenants;

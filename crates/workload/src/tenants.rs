@@ -32,6 +32,24 @@ use std::sync::Arc;
 
 /// The per-tenant workload shape: a query mix plus arrival and locality
 /// parameters.
+///
+/// # Examples
+///
+/// ```
+/// use aggcache_workload::TenantProfile;
+///
+/// // Stock profiles cover the lab's three regimes.
+/// let storm = TenantProfile::dashboard_refresh();
+/// assert_eq!(storm.name, "dashboard_refresh");
+///
+/// // A refresh storm arrives far faster than an ad-hoc scanner; the
+/// // engine scales these base rates by Zipf tenant popularity.
+/// assert!(storm.arrival_mean_vms < TenantProfile::ad_hoc_scan().arrival_mean_vms);
+///
+/// // `lab()` yields the round-robin assignment order used by the sweeps.
+/// let names: Vec<&str> = TenantProfile::lab().iter().map(|p| p.name).collect();
+/// assert_eq!(names, ["drill_down_session", "dashboard_refresh", "ad_hoc_scan"]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct TenantProfile {
     /// Stable profile name (reports, traces).

@@ -79,10 +79,11 @@ pub mod prelude {
     pub use aggcache_chunks::{ChunkData, ChunkGrid, ChunkKey, ChunkNumber, PAPER_TUPLE_BYTES};
     pub use aggcache_cluster::{ClusterBuilder, ClusterError, ClusterManager, HashRing, NodeStats};
     pub use aggcache_core::{
-        CacheError, CacheManager, CacheManagerBuilder, ComputationPlan, ConfigError, Consistency,
-        CostTable, CountTable, ExecOutcome, LookupOutcome, LookupStats, ManagerConfig,
-        PreloadReport, Query, QueryMetrics, QueryProbe, QueryRequest, QueryResult, RemoteMetrics,
-        Routing, SessionMetrics, Strategy, TableKind, ValueQuery,
+        CacheError, CacheManager, CacheManagerBuilder, CheckpointReport, ComputationPlan,
+        ConfigError, Consistency, CostTable, CountTable, ExecOutcome, LookupOutcome, LookupStats,
+        ManagerConfig, PreloadReport, Query, QueryMetrics, QueryProbe, QueryRequest, QueryResult,
+        RemoteMetrics, Routing, SessionMetrics, SpillMetrics, Strategy, TableKind, ValueQuery,
+        WarmStartReport,
     };
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
     pub use aggcache_obs::{
@@ -90,8 +91,10 @@ pub mod prelude {
     };
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
     pub use aggcache_store::{
-        AggFn, Backend, BackendCostModel, BackendSource, FactTable, FaultInjectingBackend,
-        FaultProfile, Lift, MessageCostModel, RetryPolicy, RetryingBackend,
+        decode_record, encode_record, spill_checksum, AggFn, Backend, BackendCostModel,
+        BackendSource, FactTable, FaultInjectingBackend, FaultProfile, Lift, MessageCostModel,
+        RetryPolicy, RetryingBackend, SpillConfig, SpillCostModel, SpillError, SpillRecord,
+        SpillStore,
     };
     pub use aggcache_workload::{
         Arrival, MultiTenantConfig, QueryKind, QueryMix, QueryStream, TenantProfile, TrafficEngine,

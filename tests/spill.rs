@@ -1,0 +1,339 @@
+//! Workspace tests of the persistent spill tier: `SpillFormat` round
+//! trips (property-tested on random records and on every chunk a paper
+//! stream produces, under all five strategies), tmpdir-isolated store
+//! round trips, the warm-start oracle, and the `docs/FORMAT.md`
+//! golden-file check that fails if the on-disk bytes ever drift from the
+//! normative spec.
+
+use aggcache::prelude::*;
+use proptest::prelude::*;
+// Our `Strategy` enum collides with proptest's trait of the same name
+// under the two glob imports; re-import both under unambiguous names.
+use aggcache::prelude::Strategy;
+use proptest::strategy::Strategy as PropStrategy;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A process- and call-unique scratch directory (removed by each test).
+fn tmpdir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "aggcache-spill-it-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_records_equal(a: &SpillRecord, b: &SpillRecord) {
+    assert_eq!(a.key, b.key);
+    assert_eq!(a.origin, b.origin);
+    assert_eq!(a.benefit.to_bits(), b.benefit.to_bits());
+    assert_eq!(a.data.n_dims(), b.data.n_dims());
+    assert_eq!(a.data.raw_coords(), b.data.raw_coords());
+    let av: Vec<u64> = a.data.raw_values().iter().map(|v| v.to_bits()).collect();
+    let bv: Vec<u64> = b.data.raw_values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(av, bv, "IEEE-754 value bits must survive exactly");
+}
+
+/// Strategy: an arbitrary record — any dimensionality 1-4, any coords,
+/// any f64 *bit pattern* (NaN payloads, -0.0 and infinities included).
+fn arb_record() -> impl PropStrategy<Value = SpillRecord> {
+    (
+        1usize..=4,
+        0u32..(1 << 24),
+        0u64..(1u64 << 40),
+        0u8..=2,
+        0u64..u64::MAX,
+    )
+        .prop_flat_map(|(n_dims, gb, chunk, origin, benefit_bits)| {
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u32..u32::MAX, n_dims),
+                    0u64..u64::MAX,
+                ),
+                0..40,
+            )
+            .prop_map(move |cells| {
+                let mut data = ChunkData::new(n_dims);
+                for (coords, value_bits) in &cells {
+                    data.push(coords, f64::from_bits(*value_bits));
+                }
+                SpillRecord {
+                    key: ChunkKey::new(GroupById(gb), chunk),
+                    origin,
+                    benefit: f64::from_bits(benefit_bits),
+                    data,
+                }
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `decode(encode(r))` reproduces every field bit-for-bit, and
+    /// re-encoding the decoded record reproduces the bytes exactly.
+    #[test]
+    fn format_round_trip_is_bit_identical(record in arb_record()) {
+        let encoded = encode_record(record.key, record.origin, record.benefit, &record.data);
+        let decoded = decode_record(&encoded).unwrap();
+        assert_records_equal(&decoded, &record);
+        let re = encode_record(decoded.key, decoded.origin, decoded.benefit, &decoded.data);
+        prop_assert_eq!(re, encoded);
+    }
+}
+
+/// Every chunk a paper query stream spills — under each of the five
+/// lookup strategies, over a random small grid — round-trips through the
+/// on-disk file bit-identically (the file re-encodes to its own bytes).
+#[test]
+fn every_spilled_chunk_round_trips_under_all_strategies() {
+    let strategies = [
+        Strategy::NoAggregation,
+        Strategy::Esm,
+        Strategy::Esmc { node_budget: None },
+        Strategy::Vcm,
+        Strategy::Vcmc,
+    ];
+    for (i, &strategy) in strategies.iter().enumerate() {
+        // A different random-ish shape per strategy.
+        let dataset = SyntheticSpec::new()
+            .dim("a", vec![1, 4, 12 + i as u32], vec![1, 2, 4])
+            .dim("b", vec![1, 6 + i as u32], vec![1, 3])
+            .tuples(600 + 100 * i as u64)
+            .build();
+        let dir = tmpdir("strat");
+        let backend = Backend::new(
+            dataset.fact.clone(),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        );
+        let mut mgr = CacheManager::builder()
+            .strategy(strategy)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(1024) // tight: force demotions
+            .spill(SpillConfig::new(&dir))
+            .build(backend)
+            .unwrap();
+        let max_level = dataset.grid.geom(dataset.fact_gb).level().to_vec();
+        let mut stream = QueryStream::new(
+            dataset.grid.clone(),
+            WorkloadConfig::paper(max_level, 7 + i as u64),
+        );
+        for q in stream.take_queries(40) {
+            mgr.run(&q.into()).unwrap();
+        }
+        mgr.checkpoint().unwrap();
+        let store = mgr.spill_store().unwrap();
+        assert!(!store.is_empty(), "strategy {i}: nothing was spilled");
+        // Decode every chunk file straight off the disk and re-encode:
+        // the bytes must reproduce exactly.
+        let mut files = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("chunk") {
+                continue;
+            }
+            files += 1;
+            let bytes = std::fs::read(&path).unwrap();
+            let rec = decode_record(&bytes).unwrap();
+            let re = encode_record(rec.key, rec.origin, rec.benefit, &rec.data);
+            assert_eq!(re, bytes, "strategy {i}: {} drifted", path.display());
+        }
+        assert_eq!(files, store.len(), "index and directory disagree");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Tmpdir-isolated store round trip: records written by one store are
+/// read back bit-identically by a second store opened over the same
+/// directory (the index travels with it).
+#[test]
+fn store_round_trips_across_reopen() {
+    let dir = tmpdir("reopen");
+    let mut data = ChunkData::new(3);
+    data.push(&[1, 2, 3], f64::MIN_POSITIVE);
+    data.push(&[4, 5, 6], -1.0e300);
+    let key = ChunkKey::new(GroupById(17), 42);
+    {
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        store.write(key, 1, 8.25, &data).unwrap();
+        store
+            .checkpoint([(key, 1u8, 8.25f64, &data)].into_iter())
+            .unwrap();
+    }
+    let store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.resident_count(), 1);
+    let rec = store.read(key).unwrap().unwrap();
+    assert_records_equal(
+        &rec,
+        &SpillRecord {
+            key,
+            origin: 1,
+            benefit: 8.25,
+            data,
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The warm-start oracle, end to end through the public API: a session
+/// that checkpoints and "restarts" answers subsequent queries
+/// bit-identically to one that never restarted.
+#[test]
+fn warm_restart_matches_never_restarted_oracle() {
+    let dataset = SyntheticSpec::new()
+        .dim("p", vec![1, 3, 9], vec![1, 3, 3])
+        .dim("s", vec![1, 6], vec![1, 2])
+        .tuples(800)
+        .build();
+    let build = |spill: Option<&PathBuf>| {
+        let backend = Backend::new(
+            dataset.fact.clone(),
+            AggFn::Sum,
+            BackendCostModel::default(),
+        );
+        let mut b = CacheManager::builder()
+            .strategy(Strategy::Vcmc)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(8 * 1024);
+        if let Some(dir) = spill {
+            b = b.spill(SpillConfig::new(dir));
+        }
+        b.build(backend).unwrap()
+    };
+    let max_level = dataset.grid.geom(dataset.fact_gb).level().to_vec();
+    let queries = |seed| {
+        let mut s = QueryStream::new(
+            dataset.grid.clone(),
+            WorkloadConfig::paper(max_level.clone(), seed),
+        );
+        QueryRequest::batch(&s.take_queries(30))
+    };
+    let warmup = queries(11);
+    let probe = queries(12);
+
+    let dir = tmpdir("oracle");
+    // Oracle: one continuous session (no spill, no restart).
+    let mut oracle = build(None);
+    // Warm path: run the warm-up with the spill attached, checkpoint,
+    // then "restart" by building a second manager over the same dir.
+    let mut first = build(Some(&dir));
+    for q in &warmup {
+        oracle.run(q).unwrap();
+        first.run(q).unwrap();
+    }
+    first.checkpoint().unwrap();
+    drop(first);
+    let mut warm = build(Some(&dir));
+    assert!(warm.spill_store().unwrap().resident_count() > 0);
+    // Identical RAM population and count tables after the restart...
+    warm.counts().unwrap().assert_same(oracle.counts().unwrap());
+    // ...and bit-identical answers (values AND metrics) from here on.
+    for q in &probe {
+        let a = oracle.run(q).unwrap();
+        let b = warm.run(q).unwrap();
+        assert_eq!(a.data.raw_coords(), b.data.raw_coords());
+        let av: Vec<u64> = a.data.raw_values().iter().map(|v| v.to_bits()).collect();
+        let bv: Vec<u64> = b.data.raw_values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(av, bv);
+        assert_eq!(a.metrics.complete_hit, b.metrics.complete_hit);
+        assert_eq!(
+            a.metrics.total_ms().to_bits(),
+            b.metrics.total_ms().to_bits()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Golden-file checks against docs/FORMAT.md (the normative spec).
+// ---------------------------------------------------------------------
+
+/// The spec's worked example, verbatim (docs/FORMAT.md "Worked example").
+fn golden_fixture() -> (ChunkKey, u8, f64, ChunkData) {
+    let mut data = ChunkData::new(2);
+    data.push(&[0, 1], 1.5);
+    data.push(&[2, 3], -4.25);
+    data.push(&[7, 0], 0.0);
+    (ChunkKey::new(GroupById(3), 7), 1, 2.5, data)
+}
+
+fn format_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/FORMAT.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/FORMAT.md must exist (the normative spec): {e}"))
+}
+
+/// Hex bytes between `<!-- GOLDEN:tag -->` and `<!-- /GOLDEN:tag -->`.
+/// Each fixture line is hex groups, then two-plus spaces, then prose
+/// commentary; only the hex part left of that gap counts.
+fn golden_hex(doc: &str, tag: &str) -> String {
+    let begin = format!("<!-- GOLDEN:{tag} -->");
+    let end = format!("<!-- /GOLDEN:{tag} -->");
+    let at = doc
+        .find(&begin)
+        .unwrap_or_else(|| panic!("docs/FORMAT.md lost its {begin} marker"));
+    let stop = doc[at..]
+        .find(&end)
+        .unwrap_or_else(|| panic!("docs/FORMAT.md lost its {end} marker"));
+    doc[at + begin.len()..at + stop]
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_hexdigit()))
+        .map(|l| l.split("  ").next().unwrap_or(""))
+        .collect::<String>()
+        .chars()
+        .filter(char::is_ascii_hexdigit)
+        .collect::<String>()
+        .to_lowercase()
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// `docs/FORMAT.md`'s worked-example record must be byte-for-byte what
+/// this build writes. Any change to the serializer fails here until the
+/// spec is updated in the same commit (and versioned, if incompatible).
+#[test]
+fn format_md_golden_record_matches_implementation() {
+    let (key, origin, benefit, data) = golden_fixture();
+    let encoded = encode_record(key, origin, benefit, &data);
+    let want = to_hex(&encoded);
+    let doc = format_md();
+    assert_eq!(
+        golden_hex(&doc, "RECORD"),
+        want,
+        "docs/FORMAT.md record fixture drifted from the implementation;\n\
+         the bytes this build writes are:\n{want}"
+    );
+    // The prose must pin the constants the fixture depends on.
+    for needle in ["`ACSP`", "`ACSI`", "FNV-1a", "little-endian"] {
+        assert!(doc.contains(needle), "docs/FORMAT.md lost {needle}");
+    }
+}
+
+/// Same for the index file: a store checkpointed with exactly the worked
+/// example produces the spec's `spill.idx` bytes.
+#[test]
+fn format_md_golden_index_matches_implementation() {
+    let (key, origin, benefit, data) = golden_fixture();
+    let dir = tmpdir("golden-idx");
+    let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+    store
+        .checkpoint([(key, origin, benefit, &data)].into_iter())
+        .unwrap();
+    let bytes = std::fs::read(dir.join("spill.idx")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let want = to_hex(&bytes);
+    assert_eq!(
+        golden_hex(&format_md(), "INDEX"),
+        want,
+        "docs/FORMAT.md index fixture drifted from the implementation;\n\
+         the bytes this build writes are:\n{want}"
+    );
+}
