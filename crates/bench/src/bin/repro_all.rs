@@ -2,7 +2,8 @@
 //! reproduction report (used to populate EXPERIMENTS.md).
 use aggcache_bench::args::Args;
 use aggcache_bench::experiments::{
-    cluster, coldstart, comparison, faults, policy, table1, table2, table3, tenants, unit_a, unit_b,
+    cluster, coldstart, comparison, faults, policy, recovery, table1, table2, table3, tenants,
+    unit_a, unit_b,
 };
 
 fn main() {
@@ -102,4 +103,16 @@ fn main() {
         "repro",
     );
     println!("{}", coldstart::render(&cs));
+
+    // Beyond the paper: self-healing storage under injected disk faults.
+    // Scaled down — every cell replays warm-up + a faulty restart.
+    let rc = recovery::run_experiment(
+        recovery::Opts {
+            tuples: tuples.min(60_000),
+            seed,
+            ..Default::default()
+        },
+        "repro",
+    );
+    println!("{}", recovery::render(&rc));
 }

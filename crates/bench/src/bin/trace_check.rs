@@ -8,7 +8,7 @@
 use aggcache_bench::args::Args;
 use aggcache_obs::json::JsonValue;
 
-const KNOWN_KINDS: [&str; 24] = [
+const KNOWN_KINDS: [&str; 28] = [
     "probe_start",
     "chunk_lookup",
     "probe_end",
@@ -28,6 +28,10 @@ const KNOWN_KINDS: [&str; 24] = [
     "spill_read",
     "spill_promote",
     "warm_start",
+    "spill_corrupt",
+    "spill_quarantine",
+    "index_rebuild",
+    "scrub_pass",
     "remote_serve",
     "handoff",
     "node_down",
@@ -76,6 +80,10 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         "spill_write" | "spill_read" => &["gb", "chunk", "bytes", "virtual_ms"],
         "spill_promote" => &["gb", "chunk", "admitted"],
         "warm_start" => &["chunks", "bytes", "virtual_ms"],
+        "spill_corrupt" => &["gb", "chunk", "reason"],
+        "spill_quarantine" => &["gb", "chunk", "bytes"],
+        "index_rebuild" => &["scanned", "recovered", "quarantined"],
+        "scrub_pass" => &["scanned", "corrupt", "quarantined", "virtual_ms"],
         "remote_serve" => &["gb", "chunk", "from_node", "to_node", "bytes", "virtual_ms"],
         "handoff" => &["gb", "chunk", "from_node", "to_node", "bytes"],
         "node_down" | "node_up" => &["node"],

@@ -6,6 +6,7 @@ pub mod coldstart;
 pub mod comparison;
 pub mod faults;
 pub mod policy;
+pub mod recovery;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,5 +1,5 @@
 use aggcache_schema::SchemaError;
-use aggcache_store::StoreError;
+use aggcache_store::{SpillError, StoreError};
 use std::fmt;
 
 /// Errors raised while validating a [`crate::CacheManagerBuilder`] /
@@ -54,7 +54,7 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// The unified error surface of the cache manager: everything
-/// [`crate::CacheManager::execute`], [`crate::CacheManager::execute_batch`]
+/// [`crate::CacheManager::run`], [`crate::CacheManager::run_batch`]
 /// and [`crate::CacheManager::execute_values`] (plus the pre-load entry
 /// points and the builder) can fail with.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +65,11 @@ pub enum CacheError {
     Schema(SchemaError),
     /// The manager configuration was invalid.
     Config(ConfigError),
+    /// A spill-tier operation failed in a way recovery could not absorb
+    /// (e.g. checkpointing without a spill tier attached, or an index
+    /// persist failure). Per-record corruption never surfaces here — it
+    /// is quarantined and re-served through the miss path.
+    Spill(SpillError),
     /// The backend was unavailable (retries exhausted) **and** degraded
     /// serving failed: the listed chunks could not be computed from cached
     /// data either. The query has no answer; already-cached chunks stay
@@ -96,6 +101,7 @@ impl fmt::Display for CacheError {
             Self::Store(e) => write!(f, "backend error: {e}"),
             Self::Schema(e) => write!(f, "schema error: {e}"),
             Self::Config(e) => write!(f, "config error: {e}"),
+            Self::Spill(e) => write!(f, "spill tier error: {e}"),
             Self::BackendUnavailable { gb, chunks } => write!(
                 f,
                 "backend unavailable and {} chunk(s) of group-by {} not computable from cache",
@@ -126,6 +132,7 @@ impl std::error::Error for CacheError {
             Self::Store(e) => Some(e),
             Self::Schema(e) => Some(e),
             Self::Config(e) => Some(e),
+            Self::Spill(e) => Some(e),
             Self::BackendUnavailable { .. } | Self::CellMisalignment { .. } => None,
         }
     }
@@ -134,6 +141,12 @@ impl std::error::Error for CacheError {
 impl From<StoreError> for CacheError {
     fn from(e: StoreError) -> Self {
         Self::Store(e)
+    }
+}
+
+impl From<SpillError> for CacheError {
+    fn from(e: SpillError) -> Self {
+        Self::Spill(e)
     }
 }
 

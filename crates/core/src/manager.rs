@@ -54,7 +54,7 @@ pub struct ManagerConfig {
     /// (the paper's Table 3 accounting) or sparse maps holding only
     /// non-default cells (the paper's suggested optimization).
     pub table_kind: crate::TableKind,
-    /// Worker threads for batched execution: [`CacheManager::execute_batch`]
+    /// Worker threads for batched execution: [`CacheManager::run_batch`]
     /// probes queries concurrently across this many threads and shards
     /// large in-cache aggregations across them. `1` (the default) keeps
     /// every path single-threaded. Results are bit-identical at any
@@ -391,6 +391,9 @@ pub struct CacheManager {
     /// Session-cumulative spill accounting (includes warm-start and
     /// checkpoint traffic, which no single query owns).
     spill_session: SpillMetrics,
+    /// Query virtual time accumulated towards the next proactive scrub
+    /// pass (only advances when the spill tier has a scrub interval).
+    scrub_accum_ms: f64,
 }
 
 /// What a warm start recovered from the spill tier's checkpoint.
@@ -411,6 +414,9 @@ pub struct CheckpointReport {
     pub chunks: u64,
     /// Serialized bytes written (0 for chunks already spilled).
     pub bytes: u64,
+    /// Resident chunks whose write failed and were salvaged past
+    /// (excluded from the checkpoint, never aborting it).
+    pub failed: u64,
     /// Virtual milliseconds charged for the checkpoint writes.
     pub virtual_ms: f64,
 }
@@ -441,7 +447,7 @@ fn origin_from_code(code: u8) -> Origin {
 ///
 /// Produced by [`CacheManager::probe`] with `&self` only — many probes can
 /// run concurrently over one manager — and consumed by the mutating apply
-/// phase ([`CacheManager::execute_batch`] / [`CacheManager::execute`]).
+/// phase ([`CacheManager::run_batch`] / [`CacheManager::run`]).
 #[derive(Debug)]
 pub struct QueryProbe {
     plans: Vec<ComputationPlan>,
@@ -519,6 +525,7 @@ impl CacheManager {
             spill: None,
             spill_query: SpillMetrics::default(),
             spill_session: SpillMetrics::default(),
+            scrub_accum_ms: 0.0,
         }
     }
 
@@ -623,29 +630,86 @@ impl CacheManager {
     /// charged to the spill cost model (session accounting, not any
     /// query's), and one [`Event::WarmStart`] is emitted. Returns `None`
     /// when the directory held no checkpoint.
+    ///
+    /// Attachment *self-heals* rather than failing: a missing or corrupt
+    /// index was already scavenged by [`SpillStore::open`] (reported here
+    /// via [`Event::IndexRebuild`]), a resident record that fails its
+    /// checksum is quarantined and skipped (the chunk is simply a cold
+    /// miss later), and transient read errors retry under the store's
+    /// policy. Only an unopenable directory or invalid configuration is
+    /// an error.
     pub fn attach_spill(
         &mut self,
         config: SpillConfig,
     ) -> Result<Option<WarmStartReport>, SpillError> {
-        let store = SpillStore::open(config)?;
-        let resident = store.resident_entries();
-        let mut report = WarmStartReport::default();
-        for (key, code, benefit, disk_bytes) in resident {
-            let Some(record) = store.read(key)? else {
-                continue;
-            };
-            report.chunks += 1;
-            report.bytes += disk_bytes;
-            report.virtual_ms += store.cost().read_ms(disk_bytes);
-            self.admit_chunk(key, record.data, origin_from_code(code), benefit);
-        }
-        if report.chunks > 0 {
+        let mut store = SpillStore::open(config)?;
+        if let Some(rebuild) = store.take_index_rebuild() {
             self.spill_session.merge(&SpillMetrics {
-                spill_reads: report.chunks,
-                bytes_read: report.bytes,
-                spill_virtual_ms: report.virtual_ms,
+                index_rebuilds: 1,
+                spill_corrupt: rebuild.quarantined,
+                spill_quarantined: rebuild.quarantined,
                 ..SpillMetrics::default()
             });
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::IndexRebuild {
+                    scanned: rebuild.scanned,
+                    recovered: rebuild.recovered,
+                    quarantined: rebuild.quarantined,
+                });
+            }
+        }
+        let resident = store.resident_entries();
+        let mut report = WarmStartReport::default();
+        let mut delta = SpillMetrics::default();
+        for (key, code, benefit, disk_bytes) in resident {
+            let read_ms = store.cost().read_ms(disk_bytes);
+            let outcome = store.read_retrying(key);
+            delta.spill_retries += outcome.attempts - 1;
+            delta.spill_virtual_ms += outcome.retry_virtual_ms;
+            report.virtual_ms += outcome.retry_virtual_ms;
+            match outcome.result {
+                Ok(Some(record)) => {
+                    report.chunks += 1;
+                    report.bytes += disk_bytes;
+                    report.virtual_ms += read_ms;
+                    delta.spill_reads += 1;
+                    delta.bytes_read += disk_bytes;
+                    delta.spill_virtual_ms += read_ms;
+                    self.admit_chunk(key, record.data, origin_from_code(code), benefit);
+                }
+                Ok(None) => {}
+                Err(e) if e.is_corruption() => {
+                    // The checkpointed record is damaged: charge the
+                    // wasted read, set the file aside, and warm-start
+                    // without it — the chunk is re-fetched on first miss.
+                    report.virtual_ms += read_ms;
+                    delta.spill_virtual_ms += read_ms;
+                    delta.spill_corrupt += 1;
+                    if store.quarantine(key).is_some() {
+                        delta.spill_quarantined += 1;
+                    }
+                    if let Some(tracer) = &self.tracer {
+                        tracer.emit(&Event::SpillCorrupt {
+                            gb: key.gb.0,
+                            chunk: key.chunk,
+                            reason: e.class_name(),
+                        });
+                        tracer.emit(&Event::SpillQuarantine {
+                            gb: key.gb.0,
+                            chunk: key.chunk,
+                            bytes: disk_bytes,
+                        });
+                    }
+                }
+                // Retries exhausted on a transient error: skip the chunk.
+                // It stays indexed and can still be promoted on demand.
+                Err(_) => {}
+            }
+        }
+        if delta != SpillMetrics::default() {
+            self.spill_session.merge(&delta);
+        }
+        if report.chunks > 0 {
             if let Some(tracer) = &self.tracer {
                 tracer.emit(&Event::WarmStart {
                     chunks: report.chunks,
@@ -671,31 +735,37 @@ impl CacheManager {
     /// warm-starts from it. Every resident chunk is (re)written and marked
     /// resident, replacing any previous checkpoint's marks; writes are
     /// charged to the spill cost model (session accounting).
+    ///
+    /// Checkpoints are salvaged record-by-record: a chunk whose write
+    /// fails (ENOSPC, injected fault, OS error) is skipped and counted in
+    /// [`CheckpointReport::failed`] while the rest of the checkpoint
+    /// proceeds. Fails with [`SpillError::NotAttached`] when no spill
+    /// tier is attached, or when the index itself cannot be persisted.
     pub fn checkpoint(&mut self) -> Result<CheckpointReport, SpillError> {
         let Some(store) = self.spill.as_mut() else {
-            return Err(SpillError::Corrupt {
-                reason: "no spill tier attached",
-            });
+            return Err(SpillError::NotAttached);
         };
         let entries = self.cache.entries_sorted();
-        let (chunks, bytes) = store.checkpoint(
+        let stats = store.checkpoint(
             entries
                 .into_iter()
                 .map(|(key, e)| (key, origin_code(e.origin), e.benefit, &e.data)),
         )?;
         // One per-op charge per chunk plus the byte rate over the total.
         let cost = store.cost();
-        let virtual_ms =
-            chunks as f64 * cost.write_per_op_ms + bytes as f64 * cost.write_per_byte_us / 1000.0;
+        let virtual_ms = stats.chunks as f64 * cost.write_per_op_ms
+            + stats.bytes as f64 * cost.write_per_byte_us / 1000.0;
         self.spill_session.merge(&SpillMetrics {
-            spill_writes: chunks,
-            bytes_written: bytes,
+            spill_writes: stats.chunks,
+            bytes_written: stats.bytes,
+            demote_failures: stats.failed,
             spill_virtual_ms: virtual_ms,
             ..SpillMetrics::default()
         });
         Ok(CheckpointReport {
-            chunks,
-            bytes,
+            chunks: stats.chunks,
+            bytes: stats.bytes,
+            failed: stats.failed,
             virtual_ms,
         })
     }
@@ -828,11 +898,17 @@ impl CacheManager {
             if vkey == inserted || (entry.origin == Origin::Spilled && store.contains(vkey)) {
                 continue;
             }
-            let Ok(bytes) =
-                store.write(vkey, origin_code(entry.origin), entry.benefit, &entry.data)
-            else {
-                continue;
-            };
+            let bytes =
+                match store.write(vkey, origin_code(entry.origin), entry.benefit, &entry.data) {
+                    Ok(bytes) => bytes,
+                    // The disk refused (ENOSPC, injected fault, OS error):
+                    // degrade to a plain eviction, counted but never fatal —
+                    // the victim was leaving RAM regardless.
+                    Err(_) => {
+                        delta.demote_failures += 1;
+                        continue;
+                    }
+                };
             let virtual_ms = store.cost().write_ms(bytes);
             delta.spill_writes += 1;
             delta.bytes_written += bytes;
@@ -846,7 +922,7 @@ impl CacheManager {
                 });
             }
         }
-        if delta.spill_writes > 0 {
+        if delta != SpillMetrics::default() {
             self.charge_spill(&delta);
         }
     }
@@ -855,9 +931,14 @@ impl CacheManager {
     /// reads each spilled chunk (charged to the spill cost model), appends
     /// its cells to the result, and offers it back to the RAM cache at the
     /// lowest replacement tier ([`Origin::Spilled`]) with its recorded
-    /// benefit. Returns the chunks still missing — the backend's share. A
-    /// chunk whose record fails to read or validate falls back to the
-    /// backend (served correctly either way).
+    /// benefit. Returns the chunks still missing — the backend's share.
+    ///
+    /// Recovery semantics: transient read errors retry under the store's
+    /// [`aggcache_store::RetryPolicy`]; a record that fails its checksum
+    /// or decode is *quarantined* (counted, evented, file set aside) and
+    /// the chunk falls back to the normal miss path — answers are never
+    /// built from corrupt bytes, corruption costs time, never
+    /// correctness.
     fn promote_from_spill(
         &mut self,
         gb: GroupById,
@@ -869,40 +950,75 @@ impl CacheManager {
         let mut delta = SpillMetrics::default();
         for &chunk in missing {
             let key = ChunkKey::new(gb, chunk);
-            let store = self.spill.as_ref().expect("spill attached");
-            let (record, bytes) = match (store.read(key), store.bytes_of(key)) {
-                (Ok(Some(record)), Some(bytes)) => (record, bytes),
-                _ => {
+            let (outcome, bytes, read_ms) = {
+                let store = self.spill.as_ref().expect("spill attached");
+                if !store.contains(key) {
                     still_missing.push(chunk);
                     continue;
                 }
+                let bytes = store.bytes_of(key).unwrap_or(0);
+                (store.read_retrying(key), bytes, store.cost().read_ms(bytes))
             };
-            let virtual_ms = store.cost().read_ms(bytes);
-            delta.spill_reads += 1;
-            delta.bytes_read += bytes;
-            delta.spill_virtual_ms += virtual_ms;
-            if let Some(tracer) = &self.tracer {
-                tracer.emit(&Event::SpillRead {
-                    gb: gb.0,
-                    chunk,
-                    bytes,
-                    virtual_ms,
-                });
-            }
-            result.append(&record.data);
-            let (admitted, update_ns) =
-                self.admit_chunk(key, record.data, Origin::Spilled, record.benefit);
-            metrics.update_ns += update_ns;
-            delta.spill_promotes += u64::from(admitted);
-            if let Some(tracer) = &self.tracer {
-                tracer.emit(&Event::SpillPromote {
-                    gb: gb.0,
-                    chunk,
-                    admitted,
-                });
+            delta.spill_retries += outcome.attempts - 1;
+            delta.spill_virtual_ms += outcome.retry_virtual_ms;
+            match outcome.result {
+                Ok(Some(record)) => {
+                    delta.spill_reads += 1;
+                    delta.bytes_read += bytes;
+                    delta.spill_virtual_ms += read_ms;
+                    if let Some(tracer) = &self.tracer {
+                        tracer.emit(&Event::SpillRead {
+                            gb: gb.0,
+                            chunk,
+                            bytes,
+                            virtual_ms: read_ms,
+                        });
+                    }
+                    result.append(&record.data);
+                    let (admitted, update_ns) =
+                        self.admit_chunk(key, record.data, Origin::Spilled, record.benefit);
+                    metrics.update_ns += update_ns;
+                    delta.spill_promotes += u64::from(admitted);
+                    if let Some(tracer) = &self.tracer {
+                        tracer.emit(&Event::SpillPromote {
+                            gb: gb.0,
+                            chunk,
+                            admitted,
+                        });
+                    }
+                }
+                Ok(None) => still_missing.push(chunk),
+                Err(e) if e.is_corruption() => {
+                    // Damaged record: charge the wasted read, set the
+                    // file aside, re-serve through the normal miss path.
+                    delta.spill_virtual_ms += read_ms;
+                    delta.spill_corrupt += 1;
+                    if let Some(store) = self.spill.as_mut() {
+                        if store.quarantine(key).is_some() {
+                            delta.spill_quarantined += 1;
+                        }
+                    }
+                    if let Some(tracer) = &self.tracer {
+                        tracer.emit(&Event::SpillCorrupt {
+                            gb: gb.0,
+                            chunk,
+                            reason: e.class_name(),
+                        });
+                        tracer.emit(&Event::SpillQuarantine {
+                            gb: gb.0,
+                            chunk,
+                            bytes,
+                        });
+                    }
+                    still_missing.push(chunk);
+                }
+                // Transient errors exhausted their retries: the file may
+                // be intact, so leave it spilled and serve this miss from
+                // the backend.
+                Err(_) => still_missing.push(chunk),
             }
         }
-        if delta.spill_reads > 0 {
+        if delta != SpillMetrics::default() {
             self.charge_spill(&delta);
         }
         still_missing
@@ -1145,7 +1261,7 @@ impl CacheManager {
     /// If the cache mutated since the probe was taken (version mismatch)
     /// the probe is recomputed first, so the outcome — results, cache
     /// state and virtual-time metrics — is always exactly what a fresh
-    /// sequential [`CacheManager::execute`] would produce.
+    /// sequential [`CacheManager::run`] would produce.
     pub fn apply(&mut self, query: &Query, probe: QueryProbe) -> Result<QueryResult, CacheError> {
         let t_apply = Instant::now();
         self.spill_query = SpillMetrics::default();
@@ -1313,10 +1429,46 @@ impl CacheManager {
         metrics.table_writes = self.tables.updates() - writes_before;
         metrics.apply_ns = t_apply.elapsed().as_nanos() as u64;
         self.finish_metrics(&mut metrics, trace_id, query.gb, tenant);
+        self.maybe_scrub(metrics.total_ms());
         Ok(QueryResult {
             data: result,
             metrics,
         })
+    }
+
+    /// Advances the scrub clock by one query's virtual time and runs
+    /// proactive scrub passes as the configured interval elapses (a
+    /// no-op unless the spill tier was configured with
+    /// [`SpillConfig::scrub_interval_ms`]). Scrub costs are charged to
+    /// the *session* spill accounting only — background maintenance no
+    /// single query owns, and strictly outside [`QueryMetrics`]. Driven
+    /// by deterministic virtual time, the schedule is bit-identical
+    /// across runs and thread counts.
+    fn maybe_scrub(&mut self, query_ms: f64) {
+        let Some(interval) = self.spill.as_ref().and_then(|s| s.scrub_interval_ms()) else {
+            return;
+        };
+        self.scrub_accum_ms += query_ms;
+        while self.scrub_accum_ms >= interval {
+            self.scrub_accum_ms -= interval;
+            let report = self.spill.as_mut().expect("spill attached").scrub();
+            self.spill_session.merge(&SpillMetrics {
+                spill_corrupt: report.corrupt,
+                spill_quarantined: report.quarantined,
+                spill_retries: report.retries,
+                scrub_passes: 1,
+                spill_virtual_ms: report.virtual_ms,
+                ..SpillMetrics::default()
+            });
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(&Event::ScrubPass {
+                    scanned: report.scanned,
+                    corrupt: report.corrupt,
+                    quarantined: report.quarantined,
+                    virtual_ms: report.virtual_ms,
+                });
+            }
+        }
     }
 
     /// The backend-outage fallback: serves each missing chunk *degraded*
@@ -1414,10 +1566,9 @@ impl CacheManager {
     /// concerns and are ignored here (a single manager *is* its only
     /// node); the tenant tag feeds the obs layer's per-tenant breakdowns.
     ///
-    /// The returned [`ExecOutcome`] carries the same data and metrics as
-    /// the legacy `execute*` quartet, plus an all-zero
-    /// [`crate::RemoteMetrics`] and this request's [`SpillMetrics`]
-    /// (all-zero without an attached spill tier).
+    /// The returned [`ExecOutcome`] carries the result data and metrics
+    /// plus an all-zero [`crate::RemoteMetrics`] and this request's
+    /// [`SpillMetrics`] (all-zero without an attached spill tier).
     pub fn run(&mut self, request: &QueryRequest) -> Result<ExecOutcome, CacheError> {
         let probe = self.probe_as(&request.query, request.tenant);
         let result = self.apply(&request.query, probe)?;
@@ -1449,71 +1600,6 @@ impl CacheManager {
                 out.spill = spill;
                 out
             })
-            .collect())
-    }
-
-    /// Executes a query through the active cache: one probe, one apply.
-    #[deprecated(since = "0.2.0", note = "use CacheManager::run with a QueryRequest")]
-    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, CacheError> {
-        let probe = self.probe(query);
-        self.apply(query, probe)
-    }
-
-    /// Executes a query attributed to `tenant` for the obs layer's
-    /// per-tenant breakdowns. Results, cache state and virtual-time
-    /// metrics are tenant-independent.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use CacheManager::run with QueryRequest::new(query).tenant(t)"
-    )]
-    pub fn execute_as(&mut self, query: &Query, tenant: u32) -> Result<QueryResult, CacheError> {
-        let probe = self.probe_as(query, tenant);
-        self.apply(query, probe)
-    }
-
-    /// Executes a batch of queries: the probe phase runs for all queries
-    /// concurrently across [`ManagerConfig::threads`] scoped threads, then
-    /// the apply phase runs sequentially in submission order (the cache is
-    /// single-writer, like the paper's middle tier).
-    ///
-    /// Probes invalidated by an earlier query's admissions/evictions are
-    /// transparently re-probed during their apply, so the returned results,
-    /// the final cache contents and every virtual-time metric are
-    /// **identical** to running [`CacheManager::execute`] over the queries
-    /// in a loop — batching changes wall-clock time only. On a
-    /// read-mostly stream (warm cache, admissions refused) no re-probe
-    /// happens and every lookup runs in parallel.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use CacheManager::run_batch with QueryRequests"
-    )]
-    pub fn execute_batch(&mut self, queries: &[Query]) -> Result<Vec<QueryResult>, CacheError> {
-        let tagged: Vec<(u32, &Query)> = queries.iter().map(|q| (0, q)).collect();
-        Ok(self
-            .execute_batch_inner(&tagged)?
-            .into_iter()
-            .map(|(r, _)| r)
-            .collect())
-    }
-
-    /// Batched execution with per-query tenant attribution: the probe and
-    /// apply phases behave exactly like [`CacheManager::execute_batch`],
-    /// but each query's closing [`Event::QueryDone`] carries its tenant
-    /// tag. The multi-tenant traffic engine drives the manager through
-    /// this entry point with its merged virtual-time arrival order.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use CacheManager::run_batch with tenant-tagged QueryRequests"
-    )]
-    pub fn execute_batch_tagged(
-        &mut self,
-        queries: &[(u32, Query)],
-    ) -> Result<Vec<QueryResult>, CacheError> {
-        let tagged: Vec<(u32, &Query)> = queries.iter().map(|(t, q)| (*t, q)).collect();
-        Ok(self
-            .execute_batch_inner(&tagged)?
-            .into_iter()
-            .map(|(r, _)| r)
             .collect())
     }
 
@@ -1634,8 +1720,8 @@ mod tests {
     use aggcache_obs::RecordingTracer;
     use aggcache_schema::{Dimension, Schema};
     use aggcache_store::{
-        AggFn, Backend, BackendCostModel, FactTable, FaultInjectingBackend, FaultProfile,
-        RetryPolicy, RetryingBackend,
+        AggFn, Backend, BackendCostModel, DiskFaultProfile, FactTable, FaultInjectingBackend,
+        FaultProfile, RetryPolicy, RetryingBackend,
     };
 
     fn make_backend() -> Backend {
@@ -2606,5 +2692,232 @@ mod tests {
             .unwrap();
         let kinds: Vec<&'static str> = tracer2.events().iter().map(|e| e.kind()).collect();
         assert!(kinds.contains(&"warm_start"));
+    }
+
+    /// Flips one byte in the spill file of `key` under `dir`, simulating
+    /// at-rest corruption between sessions.
+    fn corrupt_chunk_file(dir: &std::path::Path, key: ChunkKey) {
+        let path = dir.join(format!("{:016x}.chunk", key.pack()));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+    }
+
+    /// The tentpole's recovery guarantee, end to end: a chunk file
+    /// corrupted at rest between sessions must not fail the warm start
+    /// (pre-PR it surfaced as a `ConfigError::Spill` build error) and must
+    /// never corrupt an answer — the damaged record is quarantined and the
+    /// chunk re-served through the normal backend miss path.
+    #[test]
+    fn corrupted_checkpoint_record_self_heals_on_warm_start() {
+        let dir = spill_dir("heal");
+        let base;
+        {
+            let mut a = spill_manager_over(dir.clone(), usize::MAX >> 1);
+            base = a.grid().schema().lattice().base();
+            run_and_check(&mut a, &Query::new(base, vec![0, 1]));
+            a.checkpoint().unwrap();
+        }
+        corrupt_chunk_file(&dir, ChunkKey::new(base, 0));
+        let tracer = Arc::new(RecordingTracer::new());
+        let mut b = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .tracer(tracer.clone())
+            .spill(SpillConfig::new(dir))
+            .build(make_backend())
+            .unwrap();
+        // The damaged record was quarantined during recovery, the intact
+        // one warm-started.
+        assert_eq!(b.session_spill().spill_corrupt, 1);
+        assert_eq!(b.session_spill().spill_quarantined, 1);
+        assert!(b.cache().contains(&ChunkKey::new(base, 1)));
+        assert!(!b.cache().contains(&ChunkKey::new(base, 0)));
+        assert!(!b.spill_store().unwrap().contains(ChunkKey::new(base, 0)));
+        let kinds: Vec<&'static str> = tracer.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"spill_corrupt"));
+        assert!(kinds.contains(&"spill_quarantine"));
+        assert_counts_consistent(&b);
+        // The chunk is re-fetched from the backend, answer vs oracle.
+        let m = run_and_check(&mut b, &Query::new(base, vec![0]));
+        assert!(m.backend_virtual_ms > 0.0, "served via the miss path");
+        assert_counts_consistent(&b);
+    }
+
+    /// Corruption discovered at promotion time (after a clean warm start)
+    /// quarantines the record and falls through to the backend.
+    #[test]
+    fn corrupt_promotion_read_falls_back_to_backend() {
+        let mut mgr = spill_manager("corruptpromote", usize::MAX >> 1);
+        let base = mgr.grid().schema().lattice().base();
+        run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        mgr.checkpoint().unwrap();
+        mgr.evict_chunk(ChunkKey::new(base, 0));
+        corrupt_chunk_file(mgr.spill_store().unwrap().dir(), ChunkKey::new(base, 0));
+        let m = run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        assert!(m.backend_virtual_ms > 0.0, "backend re-fetch, not disk");
+        assert_eq!(mgr.session_spill().spill_corrupt, 1);
+        assert_eq!(mgr.session_spill().spill_quarantined, 1);
+        assert_eq!(mgr.session_spill().spill_reads, 0);
+        assert!(!mgr.spill_store().unwrap().contains(ChunkKey::new(base, 0)));
+        assert_counts_consistent(&mgr);
+    }
+
+    /// A deleted index is scavenged from the data files at attach time and
+    /// reported through the obs layer.
+    #[test]
+    fn missing_index_is_scavenged_and_reported() {
+        let dir = spill_dir("scavengemgr");
+        let base;
+        {
+            let mut a = spill_manager_over(dir.clone(), usize::MAX >> 1);
+            base = a.grid().schema().lattice().base();
+            run_and_check(&mut a, &Query::new(base, vec![0, 1]));
+            a.checkpoint().unwrap();
+        }
+        std::fs::remove_file(dir.join("spill.idx")).unwrap();
+        let tracer = Arc::new(RecordingTracer::new());
+        let b = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .tracer(tracer.clone())
+            .spill(SpillConfig::new(dir))
+            .build(make_backend())
+            .unwrap();
+        assert_eq!(b.session_spill().index_rebuilds, 1);
+        assert_eq!(b.spill_store().unwrap().len(), 2);
+        let rebuilds: Vec<_> = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind() == "index_rebuild")
+            .cloned()
+            .collect();
+        assert_eq!(rebuilds.len(), 1);
+        match rebuilds[0] {
+            Event::IndexRebuild {
+                scanned,
+                recovered,
+                quarantined,
+            } => {
+                assert_eq!((scanned, recovered, quarantined), (2, 2, 0));
+            }
+            ref other => panic!("expected IndexRebuild, got {other:?}"),
+        }
+        // Scavenged records are non-resident: no RAM repopulation happened.
+        assert!(!b.cache().contains(&ChunkKey::new(base, 0)));
+    }
+
+    /// ENOSPC mid-demotion degrades to the plain-eviction path: counted,
+    /// never fatal, count tables stay consistent.
+    #[test]
+    fn enospc_demotions_degrade_to_plain_evictions() {
+        let dir = spill_dir("enospcmgr");
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(160)
+            .spill(SpillConfig::new(dir).fault(DiskFaultProfile {
+                enospc_after_bytes: Some(0),
+                ..DiskFaultProfile::default()
+            }))
+            .build(make_backend())
+            .unwrap();
+        let base = mgr.grid().schema().lattice().base();
+        for chunk in 0..3 {
+            run_and_check(&mut mgr, &Query::new(base, vec![chunk]));
+        }
+        assert_eq!(mgr.session_spill().spill_writes, 0);
+        assert_eq!(mgr.session_spill().demote_failures, 1);
+        assert_eq!(mgr.spill_store().unwrap().len(), 0);
+        assert_counts_consistent(&mgr);
+    }
+
+    /// The virtual-time scrub scheduler runs a pass once enough query time
+    /// accrues, quarantining silently-corrupted records ahead of demand.
+    #[test]
+    fn scrub_pass_quarantines_ahead_of_demand() {
+        let tracer = Arc::new(RecordingTracer::new());
+        let dir = spill_dir("scrubmgr");
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .tracer(tracer.clone())
+            .spill(SpillConfig::new(dir).scrub_interval_ms(1.0))
+            .build(make_backend())
+            .unwrap();
+        let base = mgr.grid().schema().lattice().base();
+        run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        mgr.checkpoint().unwrap();
+        corrupt_chunk_file(mgr.spill_store().unwrap().dir(), ChunkKey::new(base, 0));
+        // Any query accrues far more than 1 virtual ms, firing the scrub.
+        run_and_check(&mut mgr, &Query::new(base, vec![1]));
+        assert!(mgr.session_spill().scrub_passes >= 1);
+        assert_eq!(mgr.session_spill().spill_corrupt, 1);
+        assert_eq!(mgr.session_spill().spill_quarantined, 1);
+        assert!(!mgr.spill_store().unwrap().contains(ChunkKey::new(base, 0)));
+        let kinds: Vec<&'static str> = tracer.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"scrub_pass"));
+        // The chunk itself is still RAM-resident (checkpoint does not
+        // evict), so answers stay intact; only the dead disk copy is gone.
+        let m = run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        assert!(m.complete_hit);
+        assert_counts_consistent(&mgr);
+    }
+
+    /// A scrub interval with no corruption present just verifies records:
+    /// passes are counted and charged, nothing is quarantined.
+    #[test]
+    fn clean_scrub_passes_quarantine_nothing() {
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .spill(SpillConfig::new(spill_dir("scrubclean")).scrub_interval_ms(1.0))
+            .build(make_backend())
+            .unwrap();
+        let base = mgr.grid().schema().lattice().base();
+        run_and_check(&mut mgr, &Query::new(base, vec![0]));
+        mgr.checkpoint().unwrap();
+        let before = mgr.session_spill().spill_virtual_ms;
+        run_and_check(&mut mgr, &Query::new(base, vec![1]));
+        assert!(mgr.session_spill().scrub_passes >= 1);
+        assert_eq!(mgr.session_spill().spill_quarantined, 0);
+        assert_eq!(mgr.spill_store().unwrap().len(), 1);
+        assert!(
+            mgr.session_spill().spill_virtual_ms > before,
+            "scrub reads are charged to SpillMetrics"
+        );
+    }
+
+    /// A partially failing checkpoint salvages what it can and reports the
+    /// casualties.
+    #[test]
+    fn checkpoint_reports_failed_records() {
+        let mut mgr = spill_manager("ckptfail", usize::MAX >> 1);
+        let base = mgr.grid().schema().lattice().base();
+        run_and_check(&mut mgr, &Query::new(base, vec![0, 1]));
+        mgr.spill_store_mut().unwrap().fail_next_writes(1);
+        let report = mgr.checkpoint().unwrap();
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.chunks, 1);
+        assert_eq!(mgr.session_spill().demote_failures, 1);
+        assert_eq!(mgr.spill_store().unwrap().len(), 1);
+    }
+
+    /// Checkpointing without a spill tier is a typed error, not a panic.
+    #[test]
+    fn checkpoint_without_spill_tier_is_not_attached() {
+        let mut mgr = manager(Strategy::Vcm);
+        match mgr.checkpoint() {
+            Err(SpillError::NotAttached) => {}
+            other => panic!("expected NotAttached, got {other:?}"),
+        }
+        // And it converts into the unified error surface.
+        let e: CacheError = SpillError::NotAttached.into();
+        assert!(matches!(e, CacheError::Spill(SpillError::NotAttached)));
     }
 }

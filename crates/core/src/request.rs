@@ -1,9 +1,8 @@
 //! The unified execution API: one request type and one outcome type for
 //! single-node, multi-tenant and clustered execution.
 //!
-//! [`QueryRequest`] replaces the accreted `execute` / `execute_as` /
-//! `execute_batch` / `execute_batch_tagged` quartet with a single value
-//! carrying the query plus its tenant tag and routing/consistency hints.
+//! [`QueryRequest`] is a single value carrying the query plus its tenant
+//! tag and routing/consistency hints.
 //! A plain [`crate::CacheManager`] ignores the hints (there is only one
 //! node); the cluster tier interprets them.
 
@@ -171,7 +170,21 @@ pub struct SpillMetrics {
     pub bytes_written: u64,
     /// Serialized bytes read from disk.
     pub bytes_read: u64,
-    /// Virtual milliseconds charged by the spill cost model.
+    /// Records found corrupt (checksum/decode failure) on any spill path.
+    pub spill_corrupt: u64,
+    /// Records quarantined (removed from the index, file set aside).
+    pub spill_quarantined: u64,
+    /// Transient-read re-attempts spent under the retry policy.
+    pub spill_retries: u64,
+    /// Demotions that failed and degraded to a plain eviction.
+    pub demote_failures: u64,
+    /// Index scavenges performed (a missing/corrupt `spill.idx` rebuilt
+    /// by scanning data files at open).
+    pub index_rebuilds: u64,
+    /// Proactive scrub passes completed.
+    pub scrub_passes: u64,
+    /// Virtual milliseconds charged by the spill cost model (including
+    /// retries, backoff and scrub passes).
     pub spill_virtual_ms: f64,
 }
 
@@ -183,6 +196,12 @@ impl SpillMetrics {
         self.spill_promotes += other.spill_promotes;
         self.bytes_written += other.bytes_written;
         self.bytes_read += other.bytes_read;
+        self.spill_corrupt += other.spill_corrupt;
+        self.spill_quarantined += other.spill_quarantined;
+        self.spill_retries += other.spill_retries;
+        self.demote_failures += other.demote_failures;
+        self.index_rebuilds += other.index_rebuilds;
+        self.scrub_passes += other.scrub_passes;
         self.spill_virtual_ms += other.spill_virtual_ms;
     }
 }

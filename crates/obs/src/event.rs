@@ -335,6 +335,48 @@ pub enum Event {
         /// Virtual milliseconds charged for the recovery reads.
         virtual_ms: f64,
     },
+    /// A spill-tier record failed its integrity checks (bad magic,
+    /// version, checksum or structure) when read back from disk.
+    SpillCorrupt {
+        /// Group-by id of the damaged chunk.
+        gb: u32,
+        /// Chunk number of the damaged chunk.
+        chunk: u64,
+        /// Stable error-class name (e.g. `bad_checksum`).
+        reason: &'static str,
+    },
+    /// A corrupt spill record was quarantined: dropped from the index and
+    /// its file set aside, so the chunk re-enters the normal miss path.
+    SpillQuarantine {
+        /// Group-by id of the quarantined chunk.
+        gb: u32,
+        /// Chunk number of the quarantined chunk.
+        chunk: u64,
+        /// On-disk bytes the record occupied.
+        bytes: u64,
+    },
+    /// A missing/truncated/corrupt spill index was rebuilt by scanning the
+    /// data files (index scavenge).
+    IndexRebuild {
+        /// Chunk files scanned.
+        scanned: u64,
+        /// Records recovered into the rebuilt index.
+        recovered: u64,
+        /// Damaged/misnamed files quarantined during the scan.
+        quarantined: u64,
+    },
+    /// A proactive scrub pass verified the checksums of every indexed
+    /// spill record.
+    ScrubPass {
+        /// Records scanned.
+        scanned: u64,
+        /// Records found corrupt.
+        corrupt: u64,
+        /// Records quarantined.
+        quarantined: u64,
+        /// Virtual milliseconds charged to the spill cost model.
+        virtual_ms: f64,
+    },
     /// A cluster node went down (its cache contents are lost).
     NodeDown {
         /// The failed node.
@@ -422,6 +464,10 @@ impl Event {
             Event::SpillRead { .. } => "spill_read",
             Event::SpillPromote { .. } => "spill_promote",
             Event::WarmStart { .. } => "warm_start",
+            Event::SpillCorrupt { .. } => "spill_corrupt",
+            Event::SpillQuarantine { .. } => "spill_quarantine",
+            Event::IndexRebuild { .. } => "index_rebuild",
+            Event::ScrubPass { .. } => "scrub_pass",
             Event::NodeDown { .. } => "node_down",
             Event::NodeUp { .. } => "node_up",
             Event::QueryDone { .. } => "query_done",
@@ -704,6 +750,38 @@ impl Event {
             } => {
                 field_u(out, "chunks", *chunks);
                 field_u(out, "bytes", *bytes);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::SpillCorrupt { gb, chunk, reason } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                out.push_str(",\"reason\":");
+                push_str(out, reason);
+            }
+            Event::SpillQuarantine { gb, chunk, bytes } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "bytes", *bytes);
+            }
+            Event::IndexRebuild {
+                scanned,
+                recovered,
+                quarantined,
+            } => {
+                field_u(out, "scanned", *scanned);
+                field_u(out, "recovered", *recovered);
+                field_u(out, "quarantined", *quarantined);
+            }
+            Event::ScrubPass {
+                scanned,
+                corrupt,
+                quarantined,
+                virtual_ms,
+            } => {
+                field_u(out, "scanned", *scanned);
+                field_u(out, "corrupt", *corrupt);
+                field_u(out, "quarantined", *quarantined);
                 out.push_str(",\"virtual_ms\":");
                 push_f64(out, *virtual_ms);
             }

@@ -17,11 +17,12 @@ use std::sync::{Arc, Mutex};
 
 /// SplitMix64: tiny, high-quality, deterministic. Kept private to the
 /// store crate so fault sequences depend only on (seed, fetch index).
+/// Shared with the disk-fault injector in `io.rs`.
 #[derive(Debug, Clone, Copy)]
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -30,7 +31,7 @@ impl SplitMix64 {
     }
 
     /// Uniform in [0, 1).
-    fn next_f64(&mut self) -> f64 {
+    pub(crate) fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 }

@@ -21,6 +21,7 @@ mod aggregate;
 mod backend;
 mod fact;
 mod fault;
+mod io;
 mod net;
 mod retry;
 mod source;
@@ -33,11 +34,13 @@ pub use aggregate::{
 pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
 pub use fact::FactTable;
 pub use fault::{FaultInjectingBackend, FaultProfile, FaultProfileError};
+pub use io::{DiskFaultProfile, FaultInjectingSpillIo, FsSpillIo, SpillIo};
 pub use net::{MessageCostError, MessageCostModel};
 pub use retry::{RetryPolicy, RetryPolicyError, RetryingBackend};
 pub use source::BackendSource;
 pub use spill::{
-    decode_record, encode_record, spill_checksum, SpillConfig, SpillCostModel, SpillError,
-    SpillRecord, SpillStore, ORIGIN_BACKEND, ORIGIN_COMPUTED, ORIGIN_SPILLED, SPILL_FORMAT_VERSION,
+    decode_record, encode_record, spill_checksum, IndexRebuildReport, ScrubReport,
+    SpillCheckpointStats, SpillConfig, SpillCostModel, SpillError, SpillReadOutcome, SpillRecord,
+    SpillStore, ORIGIN_BACKEND, ORIGIN_COMPUTED, ORIGIN_SPILLED, SPILL_FORMAT_VERSION,
     SPILL_HEADER_BYTES, SPILL_INDEX_MAGIC, SPILL_MAGIC,
 };

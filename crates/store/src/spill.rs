@@ -16,6 +16,8 @@
 //! `RemoteMetrics`, so the `total = backend + agg + lookup + update`
 //! invariant is untouched.
 
+use crate::io::{DiskFaultProfile, FaultInjectingSpillIo, FsSpillIo, SpillIo};
+use crate::retry::RetryPolicy;
 use aggcache_chunks::{ChunkData, ChunkKey};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -41,8 +43,12 @@ const INDEX_HEADER_BYTES: usize = 12;
 const INDEX_FILE: &str = "spill.idx";
 
 /// Errors from the spill tier: I/O failures, malformed or corrupt records,
-/// and invalid cost configuration.
-#[derive(Debug)]
+/// and invalid configuration.
+///
+/// [`SpillError::is_corruption`] classifies the variants that trigger
+/// quarantine-and-refetch recovery; [`SpillError::is_retryable`] the ones
+/// worth re-attempting under a [`RetryPolicy`].
+#[derive(Debug, Clone, PartialEq)]
 pub enum SpillError {
     /// An operating-system I/O failure (message includes the operation).
     Io {
@@ -77,6 +83,73 @@ pub enum SpillError {
     /// A deterministic write failure injected by
     /// `SpillStore::fail_next_writes` (test support).
     Injected,
+    /// The disk is out of space (the injector's ENOSPC-after-N-bytes
+    /// budget is exhausted). A failed demotion degrades to a plain
+    /// eviction; a failed checkpoint record is skipped and counted.
+    NoSpace,
+    /// A transient read error — the only retryable variant; re-attempted
+    /// under the store's [`RetryPolicy`] before surfacing.
+    TransientRead {
+        /// The read operation's sequence number (diagnostic).
+        seq: u64,
+    },
+    /// An operation that needs a spill tier was called on a manager
+    /// without one attached.
+    NotAttached,
+    /// A [`DiskFaultProfile`] rate is not a probability in [0, 1].
+    BadRate {
+        /// The offending field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The spill tier's [`RetryPolicy`] failed validation.
+    BadRetry {
+        /// The policy validation error, rendered as text.
+        reason: String,
+    },
+    /// The scrub interval is not finite and positive.
+    BadScrubInterval {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl SpillError {
+    /// Whether this error means the on-disk record is damaged (bad magic,
+    /// unreadable version, structural violation, checksum mismatch) — the
+    /// class that triggers quarantine-and-refetch recovery rather than
+    /// propagation.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            Self::BadMagic | Self::BadVersion { .. } | Self::Corrupt { .. } | Self::BadChecksum
+        )
+    }
+
+    /// Whether a re-attempt can succeed (only transient read errors).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::TransientRead { .. })
+    }
+
+    /// A short stable class name for observability events.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            Self::Io { .. } => "io",
+            Self::BadMagic => "bad_magic",
+            Self::BadVersion { .. } => "bad_version",
+            Self::Corrupt { .. } => "corrupt",
+            Self::BadChecksum => "bad_checksum",
+            Self::BadCost { .. } => "bad_cost",
+            Self::Injected => "injected",
+            Self::NoSpace => "no_space",
+            Self::TransientRead { .. } => "transient_read",
+            Self::NotAttached => "not_attached",
+            Self::BadRate { .. } => "bad_rate",
+            Self::BadRetry { .. } => "bad_retry",
+            Self::BadScrubInterval { .. } => "bad_scrub_interval",
+        }
+    }
 }
 
 impl std::fmt::Display for SpillError {
@@ -99,18 +172,26 @@ impl std::fmt::Display for SpillError {
                 )
             }
             Self::Injected => write!(f, "spill write failure (injected)"),
+            Self::NoSpace => write!(f, "spill write: no space left on device"),
+            Self::TransientRead { seq } => {
+                write!(f, "spill read: transient error (read op {seq})")
+            }
+            Self::NotAttached => write!(f, "no spill tier attached"),
+            Self::BadRate { field, value } => {
+                write!(
+                    f,
+                    "disk fault profile: {field} = {value} must be a probability in [0, 1]"
+                )
+            }
+            Self::BadRetry { reason } => write!(f, "spill retry policy: {reason}"),
+            Self::BadScrubInterval { value } => {
+                write!(f, "spill scrub interval {value} must be finite and > 0")
+            }
         }
     }
 }
 
 impl std::error::Error for SpillError {}
-
-fn io_err(op: &'static str, e: std::io::Error) -> SpillError {
-    SpillError::Io {
-        op,
-        error: e.to_string(),
-    }
-}
 
 /// FNV-1a 64-bit over `bytes` — the `SpillFormat` checksum (no
 /// dependencies, byte-order independent, specified in `docs/FORMAT.md`).
@@ -193,22 +274,39 @@ impl SpillCostModel {
     }
 }
 
-/// Configuration of a [`SpillStore`]: the spill directory and the virtual
-/// cost model its traffic is charged under.
+/// Configuration of a [`SpillStore`]: the spill directory, the virtual
+/// cost model its traffic is charged under, and the robustness knobs —
+/// an optional [`DiskFaultProfile`] (fault injection for chaos testing),
+/// the [`RetryPolicy`] governing transient read errors, and an optional
+/// virtual-time scrub interval.
 #[derive(Debug, Clone)]
 pub struct SpillConfig {
     /// Directory holding the chunk files and the index (created if absent).
     pub dir: PathBuf,
     /// Virtual cost model for disk traffic.
     pub cost: SpillCostModel,
+    /// Optional deterministic disk-fault injection; `None` (the default)
+    /// uses the plain filesystem backend, and `Some(Default::default())`
+    /// is bit-transparent to it.
+    pub fault: Option<DiskFaultProfile>,
+    /// Retry policy for transient read errors (virtual-time budgeted).
+    pub retry: RetryPolicy,
+    /// When set, a proactive scrub pass verifies every stored checksum
+    /// each time this much query virtual time elapses; `None` (the
+    /// default) disables scrubbing.
+    pub scrub_interval_ms: Option<f64>,
 }
 
 impl SpillConfig {
-    /// A configuration over `dir` with the default cost model.
+    /// A configuration over `dir` with the default cost model, no fault
+    /// injection, the default retry policy and no scrubbing.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Self {
             dir: dir.into(),
             cost: SpillCostModel::default(),
+            fault: None,
+            retry: RetryPolicy::default(),
+            scrub_interval_ms: None,
         }
     }
 
@@ -218,9 +316,40 @@ impl SpillConfig {
         self
     }
 
-    /// Validates the cost model (the directory is validated on open).
+    /// Enables deterministic disk-fault injection.
+    pub fn fault(mut self, profile: DiskFaultProfile) -> Self {
+        self.fault = Some(profile);
+        self
+    }
+
+    /// Replaces the transient-read retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Enables proactive scrubbing every `interval_ms` of query virtual
+    /// time.
+    pub fn scrub_interval_ms(mut self, interval_ms: f64) -> Self {
+        self.scrub_interval_ms = Some(interval_ms);
+        self
+    }
+
+    /// Validates every knob (the directory is validated on open).
     pub fn validate(&self) -> Result<(), SpillError> {
-        self.cost.validate()
+        self.cost.validate()?;
+        if let Some(profile) = &self.fault {
+            profile.validate()?;
+        }
+        self.retry.validate().map_err(|e| SpillError::BadRetry {
+            reason: e.to_string(),
+        })?;
+        if let Some(interval) = self.scrub_interval_ms {
+            if !interval.is_finite() || interval <= 0.0 {
+                return Err(SpillError::BadScrubInterval { value: interval });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -355,6 +484,64 @@ struct IndexEntry {
     resident: bool,
 }
 
+/// What an index scavenge recovered: data files scanned, entries rebuilt,
+/// and corrupt files quarantined. Produced when [`SpillStore::open`]
+/// finds the `spill.idx` index missing, truncated or corrupt and rebuilds
+/// it by scanning the chunk files themselves.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct IndexRebuildReport {
+    /// Chunk data files examined.
+    pub scanned: u64,
+    /// Valid records re-indexed (always non-resident: residency is a
+    /// checkpoint-time property the scavenge cannot reconstruct).
+    pub recovered: u64,
+    /// Damaged files set aside as `*.corrupt`.
+    pub quarantined: u64,
+}
+
+/// What one proactive scrub pass did: records verified, corruption found
+/// and quarantined, transient-read retries spent, and the virtual time
+/// the pass cost (charged to `SpillMetrics`, never `QueryMetrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScrubReport {
+    /// Records whose checksums were verified.
+    pub scanned: u64,
+    /// Records found corrupt.
+    pub corrupt: u64,
+    /// Records quarantined (removed from the index, file set aside).
+    pub quarantined: u64,
+    /// Transient-read re-attempts spent during the pass.
+    pub retries: u64,
+    /// Total virtual milliseconds the pass cost.
+    pub virtual_ms: f64,
+}
+
+/// What a checkpoint persisted: records written, their total bytes, and
+/// records that failed to write and were salvaged past (skipped, left
+/// non-resident, never aborting the rest of the checkpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpillCheckpointStats {
+    /// Records written and marked resident.
+    pub chunks: u64,
+    /// Total serialized bytes written.
+    pub bytes: u64,
+    /// Records whose write failed (excluded from the warm-start set).
+    pub failed: u64,
+}
+
+/// One [`SpillStore::read_retrying`] outcome: the final result plus how
+/// many attempts it took and the virtual time wasted on failed attempts
+/// and backoff (zero on first-attempt success — bit-transparent).
+#[derive(Debug)]
+pub struct SpillReadOutcome {
+    /// The final read result after retries.
+    pub result: Result<Option<SpillRecord>, SpillError>,
+    /// Total attempts made (1 = no retries).
+    pub attempts: u64,
+    /// Virtual milliseconds spent on failed attempts and backoff.
+    pub retry_virtual_ms: f64,
+}
+
 /// The disk tier: one `SpillFormat` file per demoted chunk plus a
 /// persisted index, all under one directory.
 ///
@@ -362,10 +549,22 @@ struct IndexEntry {
 /// [`SpillStore::contains`] free on the query path; iteration order —
 /// and hence warm-start insertion order — is ascending packed key, which
 /// is deterministic regardless of the history that populated the store.
+///
+/// All disk traffic flows through one object-safe [`SpillIo`] backend —
+/// the plain filesystem, or a [`FaultInjectingSpillIo`] decorator when
+/// the config carries a [`DiskFaultProfile`] — so the recovery machinery
+/// (quarantine, index scavenge, checkpoint salvage, retries, scrubbing)
+/// exercises a single code path in both healthy and chaos runs.
 pub struct SpillStore {
     dir: PathBuf,
     cost: SpillCostModel,
+    io: Box<dyn SpillIo>,
+    retry: RetryPolicy,
+    /// Precomputed once: the policy is immutable after open.
+    backoff: Vec<f64>,
+    scrub_interval_ms: Option<f64>,
     index: BTreeMap<u64, IndexEntry>,
+    rebuild: Option<IndexRebuildReport>,
     fail_writes: u64,
 }
 
@@ -380,20 +579,50 @@ impl std::fmt::Debug for SpillStore {
 
 impl SpillStore {
     /// Opens (creating if necessary) the spill directory, validates the
-    /// cost model, and loads the persisted index if one exists — the warm
-    /// half of a warm restart.
+    /// configuration, and loads the persisted index if one exists — the
+    /// warm half of a warm restart.
+    ///
+    /// Opening *self-heals*: a missing, truncated or corrupt index is
+    /// rebuilt by scanning the chunk data files (an *index scavenge*,
+    /// reported via [`SpillStore::take_index_rebuild`]) instead of
+    /// failing the open — scavenged entries are never resident, so the
+    /// restart degrades to a cold cache over an intact disk population,
+    /// never an outage.
     pub fn open(config: SpillConfig) -> Result<Self, SpillError> {
         config.validate()?;
-        std::fs::create_dir_all(&config.dir).map_err(|e| io_err("create dir", e))?;
+        let io: Box<dyn SpillIo> = match config.fault {
+            Some(profile) => Box::new(FaultInjectingSpillIo::new(FsSpillIo, profile)?),
+            None => Box::new(FsSpillIo),
+        };
+        io.create_dir_all(&config.dir)?;
         let mut store = Self {
             dir: config.dir,
             cost: config.cost,
+            io,
+            retry: config.retry,
+            backoff: config.retry.backoff_schedule(),
+            scrub_interval_ms: config.scrub_interval_ms,
             index: BTreeMap::new(),
+            rebuild: None,
             fail_writes: 0,
         };
         let idx = store.index_path();
         if idx.exists() {
-            store.load_index(&idx)?;
+            let loaded = match store.read_path_retrying(&idx) {
+                Ok(bytes) => store.load_index(&bytes),
+                Err(e) => Err(e),
+            };
+            if loaded.is_err() {
+                store.scavenge_index();
+            }
+        } else if !store
+            .io
+            .list_files(&store.dir, "chunk")
+            .unwrap_or_default()
+            .is_empty()
+        {
+            // Data files with no index at all: same scavenge path.
+            store.scavenge_index();
         }
         Ok(store)
     }
@@ -406,6 +635,22 @@ impl SpillStore {
     /// The cost model disk traffic is charged under.
     pub fn cost(&self) -> &SpillCostModel {
         &self.cost
+    }
+
+    /// The transient-read retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// The proactive scrub interval in query virtual ms, if enabled.
+    pub fn scrub_interval_ms(&self) -> Option<f64> {
+        self.scrub_interval_ms
+    }
+
+    /// Takes the index-scavenge report, if [`SpillStore::open`] had to
+    /// rebuild a missing or corrupt index (at most once per open).
+    pub fn take_index_rebuild(&mut self) -> Option<IndexRebuildReport> {
+        self.rebuild.take()
     }
 
     /// Number of chunks in the store.
@@ -468,7 +713,7 @@ impl SpillStore {
             return Err(SpillError::Injected);
         }
         let encoded = encode_record(key, origin, benefit, data);
-        std::fs::write(self.chunk_path(key), &encoded).map_err(|e| io_err("write chunk", e))?;
+        self.io.write(&self.chunk_path(key), &encoded)?;
         self.index.insert(
             key.pack(),
             IndexEntry {
@@ -494,7 +739,7 @@ impl SpillStore {
         if !self.contains(key) {
             return Ok(None);
         }
-        let bytes = std::fs::read(self.chunk_path(key)).map_err(|e| io_err("read chunk", e))?;
+        let bytes = self.io.read(&self.chunk_path(key))?;
         let record = decode_record(&bytes)?;
         if record.key != key {
             return Err(SpillError::Corrupt {
@@ -504,13 +749,155 @@ impl SpillStore {
         Ok(Some(record))
     }
 
+    /// [`SpillStore::read`], re-attempting transient read errors under
+    /// the store's [`RetryPolicy`]. Each failed attempt is charged one
+    /// read dispatch plus its backoff delay into
+    /// [`SpillReadOutcome::retry_virtual_ms`]; a first-attempt success
+    /// charges nothing extra, keeping the healthy path bit-transparent.
+    pub fn read_retrying(&self, key: ChunkKey) -> SpillReadOutcome {
+        let mut attempts = 0u64;
+        let mut wasted = 0.0f64;
+        loop {
+            attempts += 1;
+            match self.read(key) {
+                Err(e) if e.is_retryable() => {
+                    // A transient error costs the dispatch, not the bytes.
+                    wasted += self.cost.read_ms(0);
+                    let Some(&backoff) = self.backoff.get((attempts - 1) as usize) else {
+                        return SpillReadOutcome {
+                            result: Err(e),
+                            attempts,
+                            retry_virtual_ms: wasted,
+                        };
+                    };
+                    wasted += backoff;
+                }
+                result => {
+                    return SpillReadOutcome {
+                        result,
+                        attempts,
+                        retry_virtual_ms: wasted,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quarantines one record: removes it from the index and sets its
+    /// data file aside as `*.corrupt` (falling back to deletion), so the
+    /// chunk is re-served through the normal miss path and a damaged file
+    /// can never be promoted again. Returns its indexed byte size, or
+    /// `None` when the key was not spilled. Best-effort on the file
+    /// system side — the index update is what guarantees safety.
+    pub fn quarantine(&mut self, key: ChunkKey) -> Option<u64> {
+        let entry = self.index.remove(&key.pack())?;
+        let from = self.chunk_path(key);
+        let to = self.dir.join(format!("{:016x}.corrupt", key.pack()));
+        if self.io.rename(&from, &to).is_err() {
+            let _ = self.io.remove(&from);
+        }
+        let _ = self.persist_index();
+        Some(u64::from(entry.bytes))
+    }
+
+    /// Rebuilds the index by scanning the chunk data files: every file
+    /// that decodes to a valid record whose key matches its file name is
+    /// re-indexed (non-resident), everything else is quarantined. Invoked
+    /// by [`SpillStore::open`] when `spill.idx` is missing or corrupt;
+    /// the report is also retained for [`SpillStore::take_index_rebuild`].
+    pub fn scavenge_index(&mut self) -> IndexRebuildReport {
+        self.index.clear();
+        let files = self.io.list_files(&self.dir, "chunk").unwrap_or_default();
+        let mut report = IndexRebuildReport::default();
+        for path in files {
+            report.scanned += 1;
+            let named_key = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            let decoded = self
+                .read_path_retrying(&path)
+                .and_then(|bytes| decode_record(&bytes).map(|r| (r, bytes.len())));
+            match (named_key, decoded) {
+                (Some(packed), Ok((record, len))) if record.key.pack() == packed => {
+                    self.index.insert(
+                        packed,
+                        IndexEntry {
+                            benefit: record.benefit,
+                            bytes: len as u32,
+                            origin: record.origin,
+                            resident: false,
+                        },
+                    );
+                    report.recovered += 1;
+                }
+                _ => {
+                    // Undecodable, misnamed, or key-mismatched: set aside.
+                    let to = path.with_extension("corrupt");
+                    if self.io.rename(&path, &to).is_err() {
+                        let _ = self.io.remove(&path);
+                    }
+                    report.quarantined += 1;
+                }
+            }
+        }
+        let _ = self.persist_index();
+        self.rebuild = Some(report);
+        report
+    }
+
+    /// One proactive scrub pass: reads and checksum-verifies every
+    /// indexed record (with transient-read retries), quarantining the
+    /// corrupt ones ahead of demand. The pass's read, retry and backoff
+    /// costs are summed into [`ScrubReport::virtual_ms`] for the caller
+    /// to charge to `SpillMetrics` — strictly outside `QueryMetrics`.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let keys: Vec<u64> = self.index.keys().copied().collect();
+        let mut report = ScrubReport::default();
+        for packed in keys {
+            let key = ChunkKey::unpack(packed);
+            report.scanned += 1;
+            let bytes = self.bytes_of(key).unwrap_or(0);
+            let outcome = self.read_retrying(key);
+            report.retries += outcome.attempts - 1;
+            report.virtual_ms += outcome.retry_virtual_ms;
+            match outcome.result {
+                Ok(_) => report.virtual_ms += self.cost.read_ms(bytes),
+                Err(e) if e.is_corruption() => {
+                    report.virtual_ms += self.cost.read_ms(bytes);
+                    self.quarantine(key);
+                    report.corrupt += 1;
+                    report.quarantined += 1;
+                }
+                // Retries exhausted on a transient error: leave the
+                // record for the next pass rather than quarantining a
+                // file that may be intact.
+                Err(_) => {}
+            }
+        }
+        report
+    }
+
+    /// Reads a file through the I/O backend, re-attempting transient
+    /// errors (no cost accounting — used on open-time recovery paths
+    /// outside the virtual clock).
+    fn read_path_retrying(&self, path: &Path) -> Result<Vec<u8>, SpillError> {
+        let mut attempt = 0usize;
+        loop {
+            match self.io.read(path) {
+                Err(e) if e.is_retryable() && attempt < self.backoff.len() => attempt += 1,
+                result => return result,
+            }
+        }
+    }
+
     /// Removes one chunk from disk and the index; returns whether it was
     /// present.
     pub fn remove(&mut self, key: ChunkKey) -> Result<bool, SpillError> {
         if self.index.remove(&key.pack()).is_none() {
             return Ok(false);
         }
-        std::fs::remove_file(self.chunk_path(key)).map_err(|e| io_err("remove chunk", e))?;
+        self.io.remove(&self.chunk_path(key))?;
         Ok(true)
     }
 
@@ -518,23 +905,42 @@ impl SpillStore {
     /// marks exactly those keys resident (clearing the flag on all others),
     /// and persists the index. A [`SpillStore::open`] over the same
     /// directory then reports them via [`SpillStore::resident_entries`] —
-    /// the durable half of a warm restart. Returns `(chunks, bytes)`
-    /// written.
+    /// the durable half of a warm restart.
+    ///
+    /// Checkpoints are salvaged record-by-record: a failed write (ENOSPC,
+    /// injected fault, OS error) skips that record — counted in
+    /// [`SpillCheckpointStats::failed`], left non-resident, never
+    /// aborting the remainder. Only a failure to persist the index itself
+    /// is an error (and even then the next open scavenges).
     pub fn checkpoint<'a>(
         &mut self,
         resident: impl Iterator<Item = (ChunkKey, u8, f64, &'a ChunkData)>,
-    ) -> Result<(u64, u64), SpillError> {
+    ) -> Result<SpillCheckpointStats, SpillError> {
         for entry in self.index.values_mut() {
             entry.resident = false;
         }
-        let mut chunks = 0u64;
-        let mut bytes = 0u64;
-        for (key, origin, benefit, data) in resident {
-            bytes += self.write_flagged(key, origin, benefit, data, true)?;
-            chunks += 1;
+        let mut stats = SpillCheckpointStats::default();
+        match self.checkpoint_inner(resident, &mut stats) {
+            Ok(()) => Ok(stats),
+            Err(e) => Err(e),
         }
-        self.persist_index()?;
-        Ok((chunks, bytes))
+    }
+
+    fn checkpoint_inner<'a>(
+        &mut self,
+        resident: impl Iterator<Item = (ChunkKey, u8, f64, &'a ChunkData)>,
+        stats: &mut SpillCheckpointStats,
+    ) -> Result<(), SpillError> {
+        for (key, origin, benefit, data) in resident {
+            match self.write_flagged(key, origin, benefit, data, true) {
+                Ok(written) => {
+                    stats.bytes += written;
+                    stats.chunks += 1;
+                }
+                Err(_) => stats.failed += 1,
+            }
+        }
+        self.persist_index()
     }
 
     /// The chunks marked resident by the last checkpoint, in ascending
@@ -574,11 +980,10 @@ impl SpillStore {
         }
         let checksum = spill_checksum(&out);
         out.extend_from_slice(&checksum.to_le_bytes());
-        std::fs::write(self.index_path(), &out).map_err(|e| io_err("write index", e))
+        self.io.write(&self.index_path(), &out)
     }
 
-    fn load_index(&mut self, path: &Path) -> Result<(), SpillError> {
-        let bytes = std::fs::read(path).map_err(|e| io_err("read index", e))?;
+    fn load_index(&mut self, bytes: &[u8]) -> Result<(), SpillError> {
         if bytes.len() < INDEX_HEADER_BYTES + 8 {
             return Err(SpillError::Corrupt {
                 reason: "index shorter than header + checksum",
@@ -587,16 +992,16 @@ impl SpillStore {
         if bytes[0..4] != SPILL_INDEX_MAGIC {
             return Err(SpillError::BadMagic);
         }
-        let version = u16::from_le_bytes(take::<2>(&bytes, 4)?);
+        let version = u16::from_le_bytes(take::<2>(bytes, 4)?);
         if version != SPILL_FORMAT_VERSION {
             return Err(SpillError::BadVersion { found: version });
         }
         let body_len = bytes.len() - 8;
-        let stored = u64::from_le_bytes(take::<8>(&bytes, body_len)?);
+        let stored = u64::from_le_bytes(take::<8>(bytes, body_len)?);
         if spill_checksum(&bytes[..body_len]) != stored {
             return Err(SpillError::BadChecksum);
         }
-        let count = u32::from_le_bytes(take::<4>(&bytes, 8)?) as usize;
+        let count = u32::from_le_bytes(take::<4>(bytes, 8)?) as usize;
         if INDEX_HEADER_BYTES + count * INDEX_ENTRY_BYTES != body_len {
             return Err(SpillError::Corrupt {
                 reason: "index length disagrees with entry count",
@@ -605,9 +1010,9 @@ impl SpillStore {
         self.index.clear();
         for i in 0..count {
             let at = INDEX_HEADER_BYTES + i * INDEX_ENTRY_BYTES;
-            let packed = u64::from_le_bytes(take::<8>(&bytes, at)?);
-            let benefit = f64::from_bits(u64::from_le_bytes(take::<8>(&bytes, at + 8)?));
-            let size = u32::from_le_bytes(take::<4>(&bytes, at + 16)?);
+            let packed = u64::from_le_bytes(take::<8>(bytes, at)?);
+            let benefit = f64::from_bits(u64::from_le_bytes(take::<8>(bytes, at + 8)?));
+            let size = u32::from_le_bytes(take::<4>(bytes, at + 16)?);
             let origin = bytes[at + 20];
             let resident = bytes[at + 21] != 0;
             self.index.insert(
@@ -759,7 +1164,7 @@ mod tests {
             store
                 .write(ChunkKey::new(GroupById(0), 1), ORIGIN_COMPUTED, 1.0, &b)
                 .unwrap();
-            let (chunks, bytes) = store
+            let stats = store
                 .checkpoint(
                     [
                         (ka, ORIGIN_BACKEND, 2.0, &a),
@@ -768,8 +1173,9 @@ mod tests {
                     .into_iter(),
                 )
                 .unwrap();
-            assert_eq!(chunks, 2);
-            assert!(bytes > 0);
+            assert_eq!(stats.chunks, 2);
+            assert!(stats.bytes > 0);
+            assert_eq!(stats.failed, 0);
         }
         let store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
         assert_eq!(store.len(), 3);
@@ -801,6 +1207,286 @@ mod tests {
         assert!(store.write(sample_key(), ORIGIN_BACKEND, 1.0, &d).is_ok());
         assert!(!store.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_validation_covers_every_knob() {
+        let dir = tmpdir("cfg");
+        assert!(matches!(
+            SpillConfig::new(&dir)
+                .fault(DiskFaultProfile {
+                    torn_write_rate: -0.5,
+                    ..DiskFaultProfile::default()
+                })
+                .validate(),
+            Err(SpillError::BadRate {
+                field: "torn_write_rate",
+                ..
+            })
+        ));
+        assert!(matches!(
+            SpillConfig::new(&dir)
+                .retry(RetryPolicy {
+                    max_attempts: 0,
+                    ..RetryPolicy::default()
+                })
+                .validate(),
+            Err(SpillError::BadRetry { .. })
+        ));
+        assert!(matches!(
+            SpillConfig::new(&dir).scrub_interval_ms(0.0).validate(),
+            Err(SpillError::BadScrubInterval { value }) if value == 0.0
+        ));
+        assert!(SpillConfig::new(&dir)
+            .fault(DiskFaultProfile::uniform(0.2, 7))
+            .scrub_interval_ms(100.0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn torn_write_is_detected_and_quarantined() {
+        let dir = tmpdir("torn");
+        let mut store = SpillStore::open(SpillConfig::new(&dir).fault(DiskFaultProfile {
+            torn_write_rate: 1.0,
+            ..DiskFaultProfile::default()
+        }))
+        .unwrap();
+        // The torn write itself reports success — corruption is silent.
+        store
+            .write(sample_key(), ORIGIN_BACKEND, 1.0, &sample_chunk())
+            .unwrap();
+        let err = store.read(sample_key()).unwrap_err();
+        assert!(err.is_corruption(), "torn record must fail decode: {err}");
+        let bytes = store.quarantine(sample_key()).unwrap();
+        assert!(bytes > 0);
+        assert!(!store.contains(sample_key()));
+        assert!(dir
+            .join(format!("{:016x}.corrupt", sample_key().pack()))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_budget_surfaces_as_no_space() {
+        let dir = tmpdir("enospc");
+        let mut store = SpillStore::open(SpillConfig::new(&dir).fault(DiskFaultProfile {
+            enospc_after_bytes: Some(150),
+            ..DiskFaultProfile::default()
+        }))
+        .unwrap();
+        let d = sample_chunk();
+        assert!(store
+            .write(ChunkKey::new(GroupById(1), 1), ORIGIN_BACKEND, 1.0, &d)
+            .is_ok());
+        assert!(matches!(
+            store.write(ChunkKey::new(GroupById(1), 2), ORIGIN_BACKEND, 1.0, &d),
+            Err(SpillError::NoSpace)
+        ));
+        // The failed key was never indexed.
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_salvages_past_failed_records() {
+        let dir = tmpdir("salvage");
+        let a = sample_chunk();
+        let mut b = ChunkData::new(2);
+        b.push(&[5, 5], 9.0);
+        let ka = ChunkKey::new(GroupById(1), 5);
+        let kb = ChunkKey::new(GroupById(2), 6);
+        {
+            let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+            store.fail_next_writes(1);
+            let stats = store
+                .checkpoint(
+                    [
+                        (ka, ORIGIN_BACKEND, 2.0, &a),
+                        (kb, ORIGIN_COMPUTED, 4.0, &b),
+                    ]
+                    .into_iter(),
+                )
+                .unwrap();
+            assert_eq!(stats.failed, 1, "first record's write fails");
+            assert_eq!(stats.chunks, 1, "second record still lands");
+        }
+        let store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        let resident = store.resident_entries();
+        assert_eq!(resident.len(), 1, "only the salvaged record warm-starts");
+        assert_eq!(resident[0].0, kb);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_index_is_scavenged_on_open() {
+        let dir = tmpdir("scavenge");
+        let ka = ChunkKey::new(GroupById(1), 5);
+        let kb = ChunkKey::new(GroupById(2), 6);
+        {
+            // One truncated index write: the checkpoint "crashes" mid-index.
+            let mut store = SpillStore::open(
+                SpillConfig::new(&dir).fault(DiskFaultProfile::truncate_index_writes(1)),
+            )
+            .unwrap();
+            store
+                .checkpoint(
+                    [
+                        (ka, ORIGIN_BACKEND, 2.0, &sample_chunk()),
+                        (kb, ORIGIN_COMPUTED, 4.0, &sample_chunk()),
+                    ]
+                    .into_iter(),
+                )
+                .unwrap();
+        }
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        let report = store.take_index_rebuild().expect("scavenge must run");
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.recovered, 2);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(store.len(), 2, "data files fully recovered");
+        assert_eq!(store.resident_count(), 0, "residency is not reconstructed");
+        // The scavenge persisted a fresh index: the next open is clean.
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        assert!(store.take_index_rebuild().is_none());
+        assert_eq!(store.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scavenge_quarantines_damaged_and_misnamed_files() {
+        let dir = tmpdir("scavbad");
+        let ka = ChunkKey::new(GroupById(1), 5);
+        {
+            let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+            store
+                .write(ka, ORIGIN_BACKEND, 2.0, &sample_chunk())
+                .unwrap();
+        }
+        // A valid record parked under the wrong key's file name.
+        let good = dir.join(format!("{:016x}.chunk", ka.pack()));
+        std::fs::copy(&good, dir.join("00000000000000ff.chunk")).unwrap();
+        // A flat-out corrupt file.
+        std::fs::write(dir.join("00000000000000aa.chunk"), b"garbage").unwrap();
+        // No index at all: open must scavenge.
+        let _ = std::fs::remove_file(dir.join("spill.idx"));
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        let report = store.take_index_rebuild().expect("scavenge must run");
+        assert_eq!(report.scanned, 3);
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.quarantined, 2);
+        assert!(store.contains(ka));
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scrub_quarantines_ahead_of_demand() {
+        let dir = tmpdir("scrub");
+        let ka = ChunkKey::new(GroupById(1), 5);
+        let kb = ChunkKey::new(GroupById(2), 6);
+        let mut store = SpillStore::open(SpillConfig::new(&dir)).unwrap();
+        store
+            .write(ka, ORIGIN_BACKEND, 2.0, &sample_chunk())
+            .unwrap();
+        store
+            .write(kb, ORIGIN_COMPUTED, 4.0, &sample_chunk())
+            .unwrap();
+        // Corrupt one record behind the store's back.
+        let victim = dir.join(format!("{:016x}.chunk", ka.pack()));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[SPILL_HEADER_BYTES + 6] ^= 0x40;
+        std::fs::write(&victim, &bytes).unwrap();
+        let report = store.scrub();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.quarantined, 1);
+        assert!(report.virtual_ms > 0.0, "scrub reads are charged");
+        assert!(!store.contains(ka), "corrupt record quarantined");
+        assert!(store.read(kb).unwrap().is_some(), "clean record untouched");
+        // A second pass over the now-clean store finds nothing.
+        let clean = store.scrub();
+        assert_eq!(clean.scanned, 1);
+        assert_eq!(clean.corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_retrying_rides_out_transient_errors() {
+        let dir = tmpdir("retry");
+        let mut store = SpillStore::open(
+            SpillConfig::new(&dir)
+                .fault(DiskFaultProfile {
+                    read_error_rate: 0.4,
+                    seed: 11,
+                    ..DiskFaultProfile::default()
+                })
+                .retry(RetryPolicy {
+                    max_attempts: 8,
+                    ..RetryPolicy::default()
+                }),
+        )
+        .unwrap();
+        let data = sample_chunk();
+        store
+            .write(sample_key(), ORIGIN_BACKEND, 1.0, &data)
+            .unwrap();
+        let mut retried = 0u64;
+        for _ in 0..20 {
+            let outcome = store.read_retrying(sample_key());
+            let rec = outcome.result.unwrap().unwrap();
+            assert_eq!(rec.data.raw_coords(), data.raw_coords());
+            if outcome.attempts > 1 {
+                retried += 1;
+                assert!(outcome.retry_virtual_ms > 0.0, "retries cost virtual time");
+            } else {
+                assert_eq!(outcome.retry_virtual_ms, 0.0, "clean reads are free");
+            }
+        }
+        assert!(retried > 0, "a 40% error rate must trigger some retries");
+        // Determinism: a fresh store over the same seed sees the same
+        // outcome sequence.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_rate_profile_is_bit_transparent_on_disk() {
+        let plain_dir = tmpdir("zplain");
+        let faulty_dir = tmpdir("zfault");
+        let run = |dir: &Path, fault: Option<DiskFaultProfile>| {
+            let mut cfg = SpillConfig::new(dir);
+            if let Some(f) = fault {
+                cfg = cfg.fault(f);
+            }
+            let mut store = SpillStore::open(cfg).unwrap();
+            let d = sample_chunk();
+            store
+                .write(ChunkKey::new(GroupById(1), 1), ORIGIN_BACKEND, 1.0, &d)
+                .unwrap();
+            store
+                .checkpoint(
+                    [(ChunkKey::new(GroupById(2), 2), ORIGIN_COMPUTED, 2.0, &d)].into_iter(),
+                )
+                .unwrap();
+            let _ = store.read(ChunkKey::new(GroupById(1), 1)).unwrap();
+        };
+        run(&plain_dir, None);
+        run(&faulty_dir, Some(DiskFaultProfile::default()));
+        let mut files: Vec<String> = std::fs::read_dir(&plain_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        files.sort();
+        assert!(!files.is_empty());
+        for name in files {
+            assert_eq!(
+                std::fs::read(plain_dir.join(&name)).unwrap(),
+                std::fs::read(faulty_dir.join(&name)).unwrap(),
+                "byte drift in {name}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&plain_dir);
+        let _ = std::fs::remove_dir_all(&faulty_dir);
     }
 
     #[test]

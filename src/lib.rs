@@ -92,9 +92,10 @@ pub mod prelude {
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
     pub use aggcache_store::{
         decode_record, encode_record, spill_checksum, AggFn, Backend, BackendCostModel,
-        BackendSource, FactTable, FaultInjectingBackend, FaultProfile, Lift, MessageCostModel,
-        RetryPolicy, RetryingBackend, SpillConfig, SpillCostModel, SpillError, SpillRecord,
-        SpillStore,
+        BackendSource, DiskFaultProfile, FactTable, FaultInjectingBackend, FaultInjectingSpillIo,
+        FaultProfile, FsSpillIo, IndexRebuildReport, Lift, MessageCostModel, RetryPolicy,
+        RetryingBackend, ScrubReport, SpillCheckpointStats, SpillConfig, SpillCostModel,
+        SpillError, SpillIo, SpillRecord, SpillStore,
     };
     pub use aggcache_workload::{
         Arrival, MultiTenantConfig, QueryKind, QueryMix, QueryStream, TenantProfile, TrafficEngine,

@@ -267,118 +267,3 @@ mod manager_api {
         assert!(mgr.preload_best().unwrap().is_none());
     }
 }
-
-/// The deprecated `execute*` quartet must stay byte-for-byte shims over
-/// the unified `run`/`run_batch` path: same answers, same virtual costs,
-/// same cache evolution.
-mod request_api {
-    use super::*;
-
-    const STRATEGIES: [Strategy; 3] = [Strategy::Esm, Strategy::Vcm, Strategy::Vcmc];
-
-    fn dataset() -> Dataset {
-        SyntheticSpec::new()
-            .dim("a", vec![1, 3, 9], vec![1, 3, 3])
-            .dim("b", vec![1, 6], vec![1, 3])
-            .tuples(900)
-            .build()
-    }
-
-    fn manager(ds: &Dataset, strategy: Strategy) -> CacheManager {
-        let backend = Backend::new(ds.fact.clone(), AggFn::Sum, BackendCostModel::default());
-        CacheManager::builder()
-            .strategy(strategy)
-            .policy(PolicyKind::TwoLevel)
-            .cache_bytes(200 * PAPER_TUPLE_BYTES)
-            .build(backend)
-            .unwrap()
-    }
-
-    fn queries(ds: &Dataset) -> Vec<Query> {
-        use aggcache::workload::{QueryStream, WorkloadConfig};
-        let max = ds.grid.geom(ds.fact_gb).level().to_vec();
-        let mut stream = QueryStream::new(ds.grid.clone(), WorkloadConfig::paper(max, 77));
-        stream.take_queries(30)
-    }
-
-    fn digest(data: &ChunkData, metrics: &QueryMetrics) -> (Vec<u64>, u64, bool) {
-        let cells: Vec<u64> = data.iter().map(|(_, v)| v.to_bits()).collect();
-        (cells, metrics.total_ms().to_bits(), metrics.complete_hit)
-    }
-
-    fn cache_keys(mgr: &CacheManager) -> Vec<u64> {
-        let mut keys: Vec<u64> = mgr.cache().keys().map(|k| k.pack()).collect();
-        keys.sort_unstable();
-        keys
-    }
-
-    #[test]
-    fn deprecated_execute_matches_run() {
-        let ds = dataset();
-        for strategy in STRATEGIES {
-            let mut old = manager(&ds, strategy);
-            let mut new = manager(&ds, strategy);
-            for q in queries(&ds) {
-                #[allow(deprecated)]
-                let a = old.execute(&q).unwrap();
-                let b = new.run(&QueryRequest::new(q)).unwrap();
-                assert_eq!(digest(&a.data, &a.metrics), digest(&b.data, &b.metrics));
-            }
-            assert_eq!(cache_keys(&old), cache_keys(&new));
-            assert_eq!(
-                old.session().total_ms.to_bits(),
-                new.session().total_ms.to_bits()
-            );
-        }
-    }
-
-    #[test]
-    fn deprecated_execute_as_matches_tenant_request() {
-        let ds = dataset();
-        let mut old = manager(&ds, Strategy::Vcmc);
-        let mut new = manager(&ds, Strategy::Vcmc);
-        for (i, q) in queries(&ds).into_iter().enumerate() {
-            let tenant = (i % 3) as u32;
-            #[allow(deprecated)]
-            let a = old.execute_as(&q, tenant).unwrap();
-            let b = new.run(&QueryRequest::new(q).tenant(tenant)).unwrap();
-            assert_eq!(digest(&a.data, &a.metrics), digest(&b.data, &b.metrics));
-        }
-        assert_eq!(cache_keys(&old), cache_keys(&new));
-    }
-
-    #[test]
-    fn deprecated_batches_match_run_batch() {
-        let ds = dataset();
-        let qs = queries(&ds);
-        let mut old = manager(&ds, Strategy::Vcmc);
-        let mut new = manager(&ds, Strategy::Vcmc);
-        #[allow(deprecated)]
-        let a = old.execute_batch(&qs).unwrap();
-        let b = new.run_batch(&QueryRequest::batch(&qs)).unwrap();
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(digest(&x.data, &x.metrics), digest(&y.data, &y.metrics));
-        }
-        assert_eq!(cache_keys(&old), cache_keys(&new));
-
-        let tagged: Vec<(u32, Query)> = qs
-            .iter()
-            .enumerate()
-            .map(|(i, q)| ((i % 4) as u32, q.clone()))
-            .collect();
-        let requests: Vec<QueryRequest> = tagged
-            .iter()
-            .map(|(t, q)| QueryRequest::new(q.clone()).tenant(*t))
-            .collect();
-        let mut old = manager(&ds, Strategy::Vcmc);
-        let mut new = manager(&ds, Strategy::Vcmc);
-        #[allow(deprecated)]
-        let a = old.execute_batch_tagged(&tagged).unwrap();
-        let b = new.run_batch(&requests).unwrap();
-        for (x, y) in a.iter().zip(&b) {
-            assert_eq!(digest(&x.data, &x.metrics), digest(&y.data, &y.metrics));
-        }
-        assert_eq!(cache_keys(&old), cache_keys(&new));
-    }
-}

@@ -83,6 +83,26 @@ proptest! {
         let re = encode_record(decoded.key, decoded.origin, decoded.benefit, &decoded.data);
         prop_assert_eq!(re, encoded);
     }
+
+    /// The corruption-detection guarantee behind quarantine-and-refetch:
+    /// flipping any bits of any single byte of a serialized record makes
+    /// `decode_record` fail — never a silent mis-decode (the magic,
+    /// version, structure or trailing FNV-1a checksum check catches it).
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        record in arb_record(),
+        pos in 0usize..(1 << 16),
+        delta in 1u8..=255,
+    ) {
+        let encoded = encode_record(record.key, record.origin, record.benefit, &record.data);
+        let mut bad = encoded.clone();
+        let i = pos % bad.len();
+        bad[i] ^= delta;
+        prop_assert!(
+            decode_record(&bad).is_err(),
+            "flipping byte {i} by {delta:#04x} went undetected"
+        );
+    }
 }
 
 /// Every chunk a paper query stream spills — under each of the five

@@ -113,12 +113,12 @@ fn per_tenant_degraded_counts_sum_to_session_totals() {
                 Err(e) => panic!("{admission:?}: unexpected error under faults: {e}"),
             }
         }
-        let tenants = registry.tenants();
+        let tenants = registry.tenants_view();
         assert!(
             tenants.len() > 1,
             "{admission:?}: expected several tenants to be attributed"
         );
-        let sum = |f: fn(&TenantStats) -> u64| tenants.values().map(f).sum::<u64>();
+        let sum = |f: fn(&TenantStats) -> u64| tenants.iter().map(|(_, t)| f(t)).sum::<u64>();
         assert_eq!(
             sum(|t| t.queries) + failed,
             arrivals.len() as u64,
