@@ -3,7 +3,7 @@
 use aggcache_bench::args::Args;
 use aggcache_bench::experiments::{
     cluster, coldstart, comparison, faults, policy, recovery, table1, table2, table3, tenants,
-    unit_a, unit_b,
+    unit_a, unit_b, updates,
 };
 
 fn main() {
@@ -115,4 +115,14 @@ fn main() {
         "repro",
     );
     println!("{}", recovery::render(&rc));
+
+    // Beyond the paper: base-data deltas propagated up the lattice.
+    // Scaled down — the sweep runs one stream per (mix, strategy) cell
+    // plus the empty-delta transparency check.
+    let up = updates::run_experiment(updates::Opts {
+        tuples: tuples.min(60_000),
+        seed,
+        ..Default::default()
+    });
+    println!("{}", updates::render(&up));
 }

@@ -8,7 +8,7 @@
 use aggcache_bench::args::Args;
 use aggcache_obs::json::JsonValue;
 
-const KNOWN_KINDS: [&str; 28] = [
+const KNOWN_KINDS: [&str; 31] = [
     "probe_start",
     "chunk_lookup",
     "probe_end",
@@ -34,6 +34,9 @@ const KNOWN_KINDS: [&str; 28] = [
     "scrub_pass",
     "remote_serve",
     "handoff",
+    "delta_ingest",
+    "chunk_patch",
+    "chunk_invalidate",
     "node_down",
     "node_up",
     "query_done",
@@ -86,6 +89,18 @@ fn required_fields(kind: &str) -> &'static [&'static str] {
         "scrub_pass" => &["scanned", "corrupt", "quarantined", "virtual_ms"],
         "remote_serve" => &["gb", "chunk", "from_node", "to_node", "bytes", "virtual_ms"],
         "handoff" => &["gb", "chunk", "from_node", "to_node", "bytes"],
+        "delta_ingest" => &[
+            "inserts",
+            "deletes",
+            "unmatched",
+            "base_chunks",
+            "patched",
+            "invalidated",
+            "table_writes",
+            "virtual_ms",
+        ],
+        "chunk_patch" => &["gb", "chunk", "cells", "tuples"],
+        "chunk_invalidate" => &["gb", "chunk", "reason"],
         "node_down" | "node_up" => &["node"],
         "query_done" => &[
             "query",

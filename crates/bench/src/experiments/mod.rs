@@ -13,3 +13,4 @@ pub mod table3;
 pub mod tenants;
 pub mod unit_a;
 pub mod unit_b;
+pub mod updates;

@@ -49,6 +49,31 @@ pub enum ChunkError {
         /// The number of chunks at that group-by.
         max: u64,
     },
+    /// A cell's coordinate vector has the wrong number of dimensions.
+    ///
+    /// Inside the engine this invariant is a `debug_assert` on the hot
+    /// [`ChunkData`](crate::ChunkData) paths; data arriving from *user
+    /// input* (e.g. a delta batch) must be validated up front with this
+    /// typed error so the asserts stay unreachable in release builds.
+    BadCellArity {
+        /// Index of the offending record in its batch.
+        record: usize,
+        /// Number of dimensions expected.
+        expected: usize,
+        /// Number of coordinates supplied.
+        got: usize,
+    },
+    /// A cell coordinate is out of range for its dimension's cardinality.
+    CellOutOfRange {
+        /// Index of the offending record in its batch.
+        record: usize,
+        /// Dimension index.
+        dim: usize,
+        /// The offending coordinate value.
+        value: u32,
+        /// Cardinality of the dimension at the validated level.
+        cardinality: u32,
+    },
 }
 
 impl fmt::Display for ChunkError {
@@ -82,6 +107,23 @@ impl fmt::Display for ChunkError {
             Self::ChunkOutOfRange { level, chunk, max } => {
                 write!(f, "chunk {chunk} out of range at group-by {level:?} ({max} chunks)")
             }
+            Self::BadCellArity {
+                record,
+                expected,
+                got,
+            } => write!(
+                f,
+                "record {record}: {got} coordinates supplied, expected {expected}"
+            ),
+            Self::CellOutOfRange {
+                record,
+                dim,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "record {record}: coordinate {value} out of range for dimension {dim} (cardinality {cardinality})"
+            ),
         }
     }
 }

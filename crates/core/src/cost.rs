@@ -32,6 +32,14 @@ pub const PARENT_SELF: u8 = 0xFE;
 /// the 6 bytes/chunk of Table 3. (An auxiliary cached-size array is kept
 /// internally so evictions can be processed without consulting the cache;
 /// it is an implementation detail outside the paper's accounting.)
+///
+/// Base-data deltas ([`crate::CacheManager::ingest`]) reach this table
+/// only through the ordinary insert/evict hooks: a patched chunk is
+/// re-admitted at its new size (updating the cached-size array and any
+/// least-cost path that read it), an invalidated chunk is evicted. The
+/// cell writes those hooks perform are counted by `updates()` and charged
+/// to [`crate::UpdateMetrics::table_writes`] — never to the query-side
+/// [`crate::QueryMetrics::table_writes`].
 #[derive(Debug)]
 pub struct CostTable {
     grid: Arc<ChunkGrid>,

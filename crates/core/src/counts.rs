@@ -23,6 +23,13 @@ use std::sync::Arc;
 /// APB-1 grid, 32 256 bytes, exactly the paper's Table 3 figure — or a
 /// sparse map holding only non-zero counts ([`CountTable::new_sparse`],
 /// the paper's suggested optimization).
+///
+/// Base-data deltas ([`crate::CacheManager::ingest`]) keep the table
+/// consistent through the same two hooks: a chunk patched in place is
+/// re-admitted (an evict/insert pair at its new size), and a chunk
+/// invalidated — including a COUNT chunk whose tuple count reached zero —
+/// leaves through [`CountTable::on_evict`] like any other eviction, so
+/// Property 1 holds across updates without any table-specific delta code.
 #[derive(Debug)]
 pub struct CountTable {
     grid: Arc<ChunkGrid>,

@@ -80,6 +80,10 @@ pub enum CacheError {
         /// The chunks that could neither be fetched nor computed.
         chunks: Vec<u64>,
     },
+    /// A [`crate::DeltaBatch`] failed validation at the ingestion boundary
+    /// (wrong coordinate arity or an out-of-range coordinate). The fact
+    /// table, the cache and every table are untouched.
+    Delta(aggcache_chunks::ChunkError),
     /// Two cube results that must share one cell set diverged — e.g. the
     /// SUM and COUNT halves of an AVG decomposition returned different
     /// non-empty cells. Returning an answer would silently produce wrong
@@ -102,6 +106,7 @@ impl fmt::Display for CacheError {
             Self::Schema(e) => write!(f, "schema error: {e}"),
             Self::Config(e) => write!(f, "config error: {e}"),
             Self::Spill(e) => write!(f, "spill tier error: {e}"),
+            Self::Delta(e) => write!(f, "delta batch rejected: {e}"),
             Self::BackendUnavailable { gb, chunks } => write!(
                 f,
                 "backend unavailable and {} chunk(s) of group-by {} not computable from cache",
@@ -133,6 +138,7 @@ impl std::error::Error for CacheError {
             Self::Schema(e) => Some(e),
             Self::Config(e) => Some(e),
             Self::Spill(e) => Some(e),
+            Self::Delta(e) => Some(e),
             Self::BackendUnavailable { .. } | Self::CellMisalignment { .. } => None,
         }
     }
@@ -147,6 +153,12 @@ impl From<StoreError> for CacheError {
 impl From<SpillError> for CacheError {
     fn from(e: SpillError) -> Self {
         Self::Spill(e)
+    }
+}
+
+impl From<aggcache_chunks::ChunkError> for CacheError {
+    fn from(e: aggcache_chunks::ChunkError) -> Self {
+        Self::Delta(e)
     }
 }
 

@@ -60,5 +60,11 @@ pub use manager::{
 };
 pub use metrics::{QueryMetrics, SessionMetrics};
 pub use query::{Query, QueryResult, ValueQuery};
-pub use request::{Consistency, ExecOutcome, QueryRequest, RemoteMetrics, Routing, SpillMetrics};
+pub use request::{
+    Consistency, ExecOutcome, QueryRequest, RemoteMetrics, Routing, SpillMetrics, UpdateMetrics,
+};
 pub use storage::TableKind;
+
+// The delta-batch vocabulary of [`CacheManager::ingest`], re-exported so
+// callers of the core crate need not depend on the store crate directly.
+pub use aggcache_store::{DeltaBatch, DeltaOp, DeltaRecord, EffectiveDelta};

@@ -37,7 +37,12 @@ pub struct QueryMetrics {
     /// the paper's Table 1 lookup times and its aggregation throughput.
     pub lookup_virtual_ms: f64,
     /// Virtual milliseconds charged for count/cost table maintenance
-    /// (`table_writes × rate`).
+    /// (`table_writes × rate`). Only maintenance *triggered by this
+    /// query's* inserts and evictions lands here; base-data delta
+    /// maintenance ([`crate::CacheManager::ingest`]) is charged to
+    /// [`crate::UpdateMetrics::update_virtual_ms`] instead, so the
+    /// `total = backend + agg + lookup + update` identity of a query is
+    /// never perturbed by a concurrent update stream.
     pub update_virtual_ms: f64,
     /// Count/cost table cells written by this query's inserts/evictions.
     pub table_writes: u64,

@@ -183,6 +183,9 @@ pub struct SpillMetrics {
     pub index_rebuilds: u64,
     /// Proactive scrub passes completed.
     pub scrub_passes: u64,
+    /// Quarantined `.corrupt` files deleted to enforce the retention cap
+    /// (oldest evidence dropped first once the cap is exceeded).
+    pub corrupt_purged: u64,
     /// Virtual milliseconds charged by the spill cost model (including
     /// retries, backoff and scrub passes).
     pub spill_virtual_ms: f64,
@@ -202,7 +205,62 @@ impl SpillMetrics {
         self.demote_failures += other.demote_failures;
         self.index_rebuilds += other.index_rebuilds;
         self.scrub_passes += other.scrub_passes;
+        self.corrupt_purged += other.corrupt_purged;
         self.spill_virtual_ms += other.spill_virtual_ms;
+    }
+}
+
+/// Maintenance accounting for one [`crate::DeltaBatch`] ingestion: what the
+/// delta did to the fact table, how it propagated up the lattice to
+/// resident chunks, and its modeled virtual cost.
+///
+/// Deliberately kept *outside* [`QueryMetrics`], exactly like
+/// [`RemoteMetrics`] and [`SpillMetrics`]: queries keep reporting
+/// `total = backend + agg + lookup + update` bit-identically whether or not
+/// deltas ever flowed, and `trace_check` keeps enforcing that sum. All
+/// maintenance work — patching, invalidation, count/cost table upkeep — is
+/// charged here and only here.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct UpdateMetrics {
+    /// Delta batches ingested.
+    pub delta_batches: u64,
+    /// Fact tuples inserted.
+    pub tuples_inserted: u64,
+    /// Fact tuples removed by matched deletes.
+    pub tuples_deleted: u64,
+    /// Deletes that matched no fact tuple (ignored).
+    pub deletes_unmatched: u64,
+    /// Distinct base chunks the effective delta landed in.
+    pub base_chunks_touched: u64,
+    /// Resident chunks patched in place through the roll-up kernel.
+    pub chunks_patched: u64,
+    /// Aggregate cells written while patching.
+    pub cells_patched: u64,
+    /// Resident chunks invalidated (evicted to re-serve via the miss path).
+    pub chunks_invalidated: u64,
+    /// Stale spilled chunks dropped from the spill index.
+    pub spill_invalidated: u64,
+    /// Count/cost-table writes performed during maintenance.
+    pub table_writes: u64,
+    /// Virtual milliseconds charged for maintenance (roll-up work plus
+    /// table writes), strictly outside any query's `QueryMetrics`.
+    pub update_virtual_ms: f64,
+}
+
+impl UpdateMetrics {
+    /// Folds another ingestion's accounting into this one.
+    pub fn merge(&mut self, other: &UpdateMetrics) {
+        self.delta_batches += other.delta_batches;
+        self.tuples_inserted += other.tuples_inserted;
+        self.tuples_deleted += other.tuples_deleted;
+        self.deletes_unmatched += other.deletes_unmatched;
+        self.base_chunks_touched += other.base_chunks_touched;
+        self.chunks_patched += other.chunks_patched;
+        self.cells_patched += other.cells_patched;
+        self.chunks_invalidated += other.chunks_invalidated;
+        self.spill_invalidated += other.spill_invalidated;
+        self.table_writes += other.table_writes;
+        self.update_virtual_ms += other.update_virtual_ms;
     }
 }
 

@@ -377,6 +377,52 @@ pub enum Event {
         /// Virtual milliseconds charged to the spill cost model.
         virtual_ms: f64,
     },
+    /// A delta batch of base-data inserts/deletes was ingested and its
+    /// effects propagated up the lattice to resident chunks.
+    DeltaIngest {
+        /// Fact tuples inserted.
+        inserts: u64,
+        /// Fact tuples removed by matched deletes.
+        deletes: u64,
+        /// Deletes that matched no fact tuple.
+        unmatched: u64,
+        /// Distinct base chunks the effective delta landed in.
+        base_chunks: u64,
+        /// Resident chunks patched in place.
+        patched: u64,
+        /// Resident chunks invalidated.
+        invalidated: u64,
+        /// Count/cost table cells written during maintenance.
+        table_writes: u64,
+        /// Virtual milliseconds charged for the whole ingestion.
+        virtual_ms: f64,
+    },
+    /// A resident chunk absorbed a delta in place through the roll-up
+    /// kernel (self-maintainable aggregate).
+    ChunkPatch {
+        /// Group-by id of the patched chunk.
+        gb: u32,
+        /// Chunk number patched.
+        chunk: u64,
+        /// Delta cells folded into the chunk.
+        cells: u64,
+        /// Delta tuples rolled up to produce those cells.
+        tuples: u64,
+    },
+    /// A resident chunk affected by a delta could not be patched in place
+    /// and was evicted to re-serve through the normal miss path.
+    ChunkInvalidate {
+        /// Group-by id of the invalidated chunk.
+        gb: u32,
+        /// Chunk number invalidated.
+        chunk: u64,
+        /// Stable reason name: `"min_max"` (non-self-maintainable
+        /// aggregate), `"sum_delete"` (SUM chunk hit by deletes),
+        /// `"emptied"` (every cell's tuple count reached zero),
+        /// `"refused"` (patched data refused re-admission) or
+        /// `"spilled"` (stale on-disk copy removed).
+        reason: &'static str,
+    },
     /// A cluster node went down (its cache contents are lost).
     NodeDown {
         /// The failed node.
@@ -468,6 +514,9 @@ impl Event {
             Event::SpillQuarantine { .. } => "spill_quarantine",
             Event::IndexRebuild { .. } => "index_rebuild",
             Event::ScrubPass { .. } => "scrub_pass",
+            Event::DeltaIngest { .. } => "delta_ingest",
+            Event::ChunkPatch { .. } => "chunk_patch",
+            Event::ChunkInvalidate { .. } => "chunk_invalidate",
             Event::NodeDown { .. } => "node_down",
             Event::NodeUp { .. } => "node_up",
             Event::QueryDone { .. } => "query_done",
@@ -784,6 +833,43 @@ impl Event {
                 field_u(out, "quarantined", *quarantined);
                 out.push_str(",\"virtual_ms\":");
                 push_f64(out, *virtual_ms);
+            }
+            Event::DeltaIngest {
+                inserts,
+                deletes,
+                unmatched,
+                base_chunks,
+                patched,
+                invalidated,
+                table_writes,
+                virtual_ms,
+            } => {
+                field_u(out, "inserts", *inserts);
+                field_u(out, "deletes", *deletes);
+                field_u(out, "unmatched", *unmatched);
+                field_u(out, "base_chunks", *base_chunks);
+                field_u(out, "patched", *patched);
+                field_u(out, "invalidated", *invalidated);
+                field_u(out, "table_writes", *table_writes);
+                out.push_str(",\"virtual_ms\":");
+                push_f64(out, *virtual_ms);
+            }
+            Event::ChunkPatch {
+                gb,
+                chunk,
+                cells,
+                tuples,
+            } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                field_u(out, "cells", *cells);
+                field_u(out, "tuples", *tuples);
+            }
+            Event::ChunkInvalidate { gb, chunk, reason } => {
+                field_u(out, "gb", u64::from(*gb));
+                field_u(out, "chunk", *chunk);
+                out.push_str(",\"reason\":");
+                push_str(out, reason);
             }
             Event::NodeDown { node } => {
                 field_u(out, "node", u64::from(*node));

@@ -519,6 +519,31 @@ impl Tracer for MetricsRegistry {
                 inner.bump("handoffs", 1);
                 inner.bump("bytes_on_wire", *bytes);
             }
+            Event::DeltaIngest {
+                inserts,
+                deletes,
+                unmatched,
+                patched,
+                invalidated,
+                table_writes,
+                virtual_ms,
+                ..
+            } => {
+                inner.bump("delta_ingests", 1);
+                inner.bump("delta_inserts", *inserts);
+                inner.bump("delta_deletes", *deletes);
+                inner.bump("delta_unmatched", *unmatched);
+                inner.bump("delta_chunks_patched", *patched);
+                inner.bump("delta_chunks_invalidated", *invalidated);
+                inner.bump("delta_table_writes", *table_writes);
+                inner.virt("delta_ingest", virtual_ms * 1000.0);
+            }
+            Event::ChunkPatch { cells, tuples, .. } => {
+                inner.bump("chunk_patches", 1);
+                inner.bump("chunk_patch_cells", *cells);
+                inner.bump("chunk_patch_tuples", *tuples);
+            }
+            Event::ChunkInvalidate { .. } => inner.bump("chunk_invalidates", 1),
             Event::NodeDown { .. } => inner.bump("node_downs", 1),
             Event::NodeUp { .. } => inner.bump("node_ups", 1),
             Event::QueryDone {
@@ -815,6 +840,46 @@ mod tests {
         // 2.5 ms = 2500 µs.
         let h = r.virtual_histogram("scrub_pass").unwrap();
         assert_eq!(h.sum(), 2500.0);
+    }
+
+    #[test]
+    fn delta_events_aggregate() {
+        let r = MetricsRegistry::new();
+        r.emit(&Event::DeltaIngest {
+            inserts: 5,
+            deletes: 2,
+            unmatched: 1,
+            base_chunks: 3,
+            patched: 4,
+            invalidated: 2,
+            table_writes: 6,
+            virtual_ms: 1.5,
+        });
+        r.emit(&Event::ChunkPatch {
+            gb: 1,
+            chunk: 0,
+            cells: 3,
+            tuples: 7,
+        });
+        r.emit(&Event::ChunkInvalidate {
+            gb: 1,
+            chunk: 2,
+            reason: "min_max",
+        });
+        assert_eq!(r.counter("delta_ingests"), 1);
+        assert_eq!(r.counter("delta_inserts"), 5);
+        assert_eq!(r.counter("delta_deletes"), 2);
+        assert_eq!(r.counter("delta_unmatched"), 1);
+        assert_eq!(r.counter("delta_chunks_patched"), 4);
+        assert_eq!(r.counter("delta_chunks_invalidated"), 2);
+        assert_eq!(r.counter("delta_table_writes"), 6);
+        assert_eq!(r.counter("chunk_patches"), 1);
+        assert_eq!(r.counter("chunk_patch_cells"), 3);
+        assert_eq!(r.counter("chunk_patch_tuples"), 7);
+        assert_eq!(r.counter("chunk_invalidates"), 1);
+        // 1.5 ms = 1500 µs.
+        let h = r.virtual_histogram("delta_ingest").unwrap();
+        assert_eq!(h.sum(), 1500.0);
     }
 
     #[test]

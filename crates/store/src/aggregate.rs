@@ -33,12 +33,31 @@ impl AggFn {
     }
 
     /// Combines two partial aggregates.
+    ///
+    /// NaN policy: **propagate**. A NaN measure poisons every aggregate it
+    /// contributes to, exactly as SUM already behaves (`x + NaN = NaN`).
+    /// `f64::min`/`f64::max` instead silently prefer the non-NaN operand,
+    /// which would make a NaN measure vanish at aggregated levels while
+    /// base-level scans keep it — the same cell would answer differently
+    /// depending on which lattice level served it.
     #[inline]
     pub fn combine(self, a: f64, b: f64) -> f64 {
         match self {
             AggFn::Sum | AggFn::Count => a + b,
-            AggFn::Min => a.min(b),
-            AggFn::Max => a.max(b),
+            AggFn::Min => {
+                if a.is_nan() || b.is_nan() {
+                    f64::NAN
+                } else {
+                    a.min(b)
+                }
+            }
+            AggFn::Max => {
+                if a.is_nan() || b.is_nan() {
+                    f64::NAN
+                } else {
+                    a.max(b)
+                }
+            }
         }
     }
 }
@@ -788,6 +807,48 @@ mod tests {
         d.push(&[1, 0], 3.0);
         let out = aggregate_to_level(&s, &[(&[2, 1], &d)], &[0, 0], AggFn::Min, Lift::Raw);
         assert_eq!(out.value_of(0), -5.0);
+    }
+
+    #[test]
+    fn nan_measure_propagates_through_min_max() {
+        // Regression: `f64::min`/`f64::max` silently prefer the non-NaN
+        // operand, so a NaN measure would vanish at aggregated levels while
+        // a base-level scan keeps it. The policy is propagate: a NaN input
+        // poisons every aggregate it contributes to, like SUM already does.
+        let s = schema();
+        let mut d = ChunkData::new(2);
+        d.push(&[0, 0], 1.0);
+        d.push(&[1, 0], f64::NAN);
+        d.push(&[2, 1], 4.0);
+        for agg in [AggFn::Min, AggFn::Max, AggFn::Sum] {
+            // The top cell sees the NaN regardless of operand order.
+            let top = aggregate_to_level(&s, &[(&[2, 1], &d)], &[0, 0], agg, Lift::Raw);
+            assert!(
+                top.value_of(0).is_nan(),
+                "{agg:?} must propagate NaN to the top"
+            );
+            // A cell the NaN does not contribute to stays clean: at level
+            // (1,1), coords (0,0)+(1,0) roll into a-cell 0, (2,1) into 1.
+            let mid = aggregate_to_level(&s, &[(&[2, 1], &d)], &[1, 1], agg, Lift::Raw);
+            let clean = (0..mid.len())
+                .find(|&i| mid.coords_of(i) == [1, 1])
+                .unwrap();
+            assert_eq!(mid.value_of(clean), 4.0, "{agg:?} clean cell poisoned");
+            let poisoned = (0..mid.len())
+                .find(|&i| mid.coords_of(i) == [0, 0])
+                .unwrap();
+            assert!(mid.value_of(poisoned).is_nan());
+            // The merge path combines through the same kernel.
+            let mut a = Aggregator::new(&s, &[0, 0], agg);
+            a.add_chunk(&[2, 1], &d, Lift::Raw);
+            let mut b = Aggregator::new(&s, &[0, 0], agg);
+            b.add_chunk(&[2, 1], &base_cells(), Lift::Raw);
+            a.merge(b);
+            assert!(a.finish().value_of(0).is_nan(), "{agg:?} merge lost NaN");
+        }
+        // COUNT never looks at the measure: NaN tuples still count.
+        let cnt = aggregate_to_level(&s, &[(&[2, 1], &d)], &[0, 0], AggFn::Count, Lift::Raw);
+        assert_eq!(cnt.value_of(0), 3.0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-use aggcache_chunks::{ChunkData, ChunkGrid, ChunkNumber};
+use crate::delta::{delete_multiset, DeltaBatch, DeltaOp, EffectiveDelta};
+use aggcache_chunks::{ChunkData, ChunkError, ChunkGrid, ChunkNumber};
 use aggcache_schema::GroupById;
 use std::sync::Arc;
 
@@ -111,6 +112,87 @@ impl FactTable {
         chunks.iter().flat_map(move |&c| self.scan_chunk(c))
     }
 
+    /// Applies a batch of inserts and deletes, re-clustering the fact file,
+    /// and reports the [`EffectiveDelta`] that actually landed.
+    ///
+    /// The batch is validated first ([`DeltaBatch::validate`]); on error
+    /// the table is untouched. Deletes match on coordinates plus exact
+    /// value bits and remove **one** tuple instance each; deletes that
+    /// match nothing are counted in
+    /// [`unmatched_deletes`](EffectiveDelta::unmatched_deletes) and
+    /// otherwise ignored. Re-clustering reuses the counting-sort build of
+    /// [`FactTable::load`], so the updated table is bit-identical to one
+    /// loaded fresh from the post-update tuple set.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<EffectiveDelta, ChunkError> {
+        batch.validate(&self.grid, self.gb)?;
+        let n_dims = self.grid.num_dims();
+
+        // Remove one resident instance per delete, matched on coords +
+        // value bits. Scanning the clustered file keeps the order (and so
+        // the rebuilt table) deterministic.
+        let mut pending = delete_multiset(batch);
+        let mut kept = ChunkData::with_capacity(n_dims, self.data.len());
+        let mut deleted = ChunkData::new(n_dims);
+        if pending.is_empty() {
+            kept.append(&self.data);
+        } else {
+            let mut probe = (Vec::with_capacity(n_dims), 0u64);
+            for i in 0..self.data.len() {
+                let coords = self.data.coords_of(i);
+                let value = self.data.value_of(i);
+                probe.0.clear();
+                probe.0.extend_from_slice(coords);
+                probe.1 = value.to_bits();
+                match pending.get_mut(&probe) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        deleted.push(coords, value);
+                    }
+                    _ => kept.push(coords, value),
+                }
+            }
+        }
+        let unmatched_deletes: u64 = pending.values().sum();
+
+        let mut inserted = ChunkData::new(n_dims);
+        for rec in batch.records() {
+            if rec.op == DeltaOp::Insert {
+                inserted.push(&rec.coords, rec.value);
+            }
+        }
+
+        // Base chunks touched by the effective changes.
+        let geom = self.grid.geom(self.gb);
+        let level = geom.level().to_vec();
+        let tables: Vec<&[u32]> = (0..n_dims)
+            .map(|d| self.grid.dim(d).chunk_of_table(level[d]))
+            .collect();
+        let mut chunk_coords = vec![0u32; n_dims];
+        let mut base_chunks: Vec<ChunkNumber> = inserted
+            .iter()
+            .chain(deleted.iter())
+            .map(|(c, _)| {
+                for d in 0..n_dims {
+                    chunk_coords[d] = tables[d][c[d] as usize];
+                }
+                geom.linearize(&chunk_coords)
+            })
+            .collect();
+        base_chunks.sort_unstable();
+        base_chunks.dedup();
+
+        if !(inserted.is_empty() && deleted.is_empty()) {
+            kept.append(&inserted);
+            *self = FactTable::load(self.grid.clone(), self.gb, kept);
+        }
+        Ok(EffectiveDelta {
+            inserted,
+            deleted,
+            unmatched_deletes,
+            base_chunks,
+        })
+    }
+
     /// All chunk numbers that contain at least one tuple.
     pub fn non_empty_chunks(&self) -> Vec<ChunkNumber> {
         (0..self.offsets.len() - 1)
@@ -197,6 +279,84 @@ mod tests {
         let t = FactTable::load(grid, base, cells);
         let geom = t.grid().geom(t.gb());
         assert_eq!(t.non_empty_chunks(), vec![geom.total_chunks() - 1]);
+    }
+
+    #[test]
+    fn apply_delta_inserts_and_reclusters() {
+        let mut t = table();
+        let mut batch = DeltaBatch::new();
+        batch.insert(&[0, 0], 7.0).insert(&[7, 3], 9.0);
+        let eff = t.apply_delta(&batch).unwrap();
+        assert_eq!(t.num_tuples(), 34);
+        assert_eq!(eff.inserted.len(), 2);
+        assert!(eff.deleted.is_empty());
+        assert_eq!(eff.unmatched_deletes, 0);
+        let geom = t.grid().geom(t.gb());
+        let last = geom.total_chunks() - 1;
+        assert_eq!(eff.base_chunks, vec![0, last]);
+        // Rebuilt table is bit-identical to a fresh load of the same set.
+        let mut cells = ChunkData::new(2);
+        for a in (0..8u32).rev() {
+            for b in 0..4u32 {
+                cells.push(&[a, b], f64::from(a * 100 + b));
+            }
+        }
+        cells.push(&[0, 0], 7.0);
+        cells.push(&[7, 3], 9.0);
+        let fresh = FactTable::load(t.grid().clone(), t.gb(), cells);
+        assert_eq!(t.data, fresh.data);
+        assert_eq!(t.offsets, fresh.offsets);
+    }
+
+    #[test]
+    fn apply_delta_deletes_one_instance_on_exact_match() {
+        let grid = grid();
+        let base = grid.schema().lattice().base();
+        let mut cells = ChunkData::new(2);
+        cells.push(&[0, 0], 1.0);
+        cells.push(&[0, 0], 1.0);
+        cells.push(&[0, 0], 2.0);
+        let mut t = FactTable::load(grid, base, cells);
+        let mut batch = DeltaBatch::new();
+        // One matched delete, one value-mismatch, one coord-mismatch.
+        batch
+            .delete(&[0, 0], 1.0)
+            .delete(&[0, 0], 3.0)
+            .delete(&[5, 1], 1.0);
+        let eff = t.apply_delta(&batch).unwrap();
+        assert_eq!(t.num_tuples(), 2);
+        assert_eq!(eff.deleted.len(), 1);
+        assert_eq!(eff.unmatched_deletes, 2);
+        assert_eq!(eff.base_chunks, vec![0]);
+        // The duplicate's second instance survives.
+        assert_eq!(t.tuples_in(0), 2);
+    }
+
+    #[test]
+    fn apply_delta_validates_before_mutating() {
+        let mut t = table();
+        let mut batch = DeltaBatch::new();
+        batch.insert(&[0, 0], 7.0).insert(&[8, 0], 1.0);
+        assert!(matches!(
+            t.apply_delta(&batch).unwrap_err(),
+            ChunkError::CellOutOfRange {
+                record: 1,
+                dim: 0,
+                ..
+            }
+        ));
+        // Nothing landed, not even the valid first record.
+        assert_eq!(t.num_tuples(), 32);
+    }
+
+    #[test]
+    fn apply_delta_empty_batch_is_noop() {
+        let mut t = table();
+        let before = t.data.clone();
+        let eff = t.apply_delta(&DeltaBatch::new()).unwrap();
+        assert!(eff.is_empty());
+        assert_eq!(eff.num_tuples(), 0);
+        assert_eq!(t.data, before);
     }
 
     #[test]

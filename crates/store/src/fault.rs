@@ -321,6 +321,15 @@ impl<B: BackendSource> BackendSource for FaultInjectingBackend<B> {
         self.inner.estimate_fetch_ms(gb, chunks)
     }
 
+    // Maintenance is local, not a network round trip: faults are never
+    // injected into it, matching the trait's infallible-outage contract.
+    fn apply_delta(
+        &mut self,
+        batch: &crate::DeltaBatch,
+    ) -> Result<crate::EffectiveDelta, aggcache_chunks::ChunkError> {
+        self.inner.apply_delta(batch)
+    }
+
     fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {
         self.tracer = tracer.clone();
         self.inner.set_tracer(tracer);

@@ -19,6 +19,7 @@
 
 mod aggregate;
 mod backend;
+mod delta;
 mod fact;
 mod fault;
 mod io;
@@ -32,6 +33,7 @@ pub use aggregate::{
     Aggregator, Lift, Rollup,
 };
 pub use backend::{Backend, BackendCostModel, FetchResult, StoreError};
+pub use delta::{DeltaBatch, DeltaOp, DeltaRecord, EffectiveDelta};
 pub use fact::FactTable;
 pub use fault::{FaultInjectingBackend, FaultProfile, FaultProfileError};
 pub use io::{DiskFaultProfile, FaultInjectingSpillIo, FsSpillIo, SpillIo};

@@ -294,6 +294,15 @@ impl<B: BackendSource> BackendSource for RetryingBackend<B> {
         self.inner.estimate_fetch_ms(gb, chunks)
     }
 
+    // Maintenance never fails with an outage, so there is nothing to
+    // retry: forward straight to the inner source.
+    fn apply_delta(
+        &mut self,
+        batch: &crate::DeltaBatch,
+    ) -> Result<crate::EffectiveDelta, aggcache_chunks::ChunkError> {
+        self.inner.apply_delta(batch)
+    }
+
     fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {
         self.tracer = tracer.clone();
         self.inner.set_tracer(tracer);

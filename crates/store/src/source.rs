@@ -7,8 +7,11 @@
 //! ([`crate::RetryingBackend`]) compose as decorators around it — and a
 //! future real database client can slot in behind the same interface.
 
-use crate::{AggFn, Backend, BackendCostModel, FactTable, FetchResult, StoreError};
-use aggcache_chunks::{ChunkGrid, ChunkNumber};
+use crate::{
+    AggFn, Backend, BackendCostModel, DeltaBatch, EffectiveDelta, FactTable, FetchResult,
+    StoreError,
+};
+use aggcache_chunks::{ChunkError, ChunkGrid, ChunkNumber};
 use aggcache_obs::Tracer;
 use aggcache_schema::GroupById;
 use std::fmt;
@@ -74,6 +77,16 @@ pub trait BackendSource: Send + Sync + fmt::Debug {
         ))
     }
 
+    /// Applies a batch of base-data inserts/deletes to the backing fact
+    /// data (and any materialized aggregates), returning the effective
+    /// delta that landed. Validation errors leave the source untouched.
+    ///
+    /// Maintenance is a *local* data-plane operation — it models the
+    /// warehouse's own load pipeline, not a client round trip — so it is
+    /// infallible with respect to outages and charged no backend virtual
+    /// time; the cache layer charges its own maintenance cost.
+    fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<EffectiveDelta, ChunkError>;
+
     /// Installs (or with `None`, removes) the trace event sink. Decorators
     /// forward the tracer to their inner source so every layer's events
     /// land in the same sink.
@@ -111,6 +124,10 @@ impl BackendSource for Backend {
 
     fn estimate_fetch_ms(&self, gb: GroupById, chunks: &[ChunkNumber]) -> Option<(f64, f64)> {
         Backend::estimate_fetch_ms(self, gb, chunks)
+    }
+
+    fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<EffectiveDelta, ChunkError> {
+        Backend::apply_delta(self, batch)
     }
 
     fn set_tracer(&mut self, tracer: Option<Arc<dyn Tracer>>) {

@@ -295,7 +295,18 @@ pub struct SpillConfig {
     /// each time this much query virtual time elapses; `None` (the
     /// default) disables scrubbing.
     pub scrub_interval_ms: Option<f64>,
+    /// Maximum number of quarantined `*.corrupt` files retained in the
+    /// spill directory. Quarantine keeps damaged files for post-mortem
+    /// inspection rather than deleting them, but a long-lived session over
+    /// a flaky disk would otherwise accumulate them without bound; once
+    /// the cap is exceeded the excess is purged in ascending file-name
+    /// order (deterministic — no timestamps). `0` retains none.
+    pub max_corrupt_files: usize,
 }
+
+/// Default [`SpillConfig::max_corrupt_files`]: enough retained casualties
+/// to diagnose a bad disk, small enough that quarantine can never fill it.
+pub const DEFAULT_MAX_CORRUPT_FILES: usize = 16;
 
 impl SpillConfig {
     /// A configuration over `dir` with the default cost model, no fault
@@ -307,6 +318,7 @@ impl SpillConfig {
             fault: None,
             retry: RetryPolicy::default(),
             scrub_interval_ms: None,
+            max_corrupt_files: DEFAULT_MAX_CORRUPT_FILES,
         }
     }
 
@@ -332,6 +344,13 @@ impl SpillConfig {
     /// time.
     pub fn scrub_interval_ms(mut self, interval_ms: f64) -> Self {
         self.scrub_interval_ms = Some(interval_ms);
+        self
+    }
+
+    /// Caps the retained quarantined `*.corrupt` files (see
+    /// [`SpillConfig::max_corrupt_files`]).
+    pub fn max_corrupt_files(mut self, cap: usize) -> Self {
+        self.max_corrupt_files = cap;
         self
     }
 
@@ -566,6 +585,11 @@ pub struct SpillStore {
     index: BTreeMap<u64, IndexEntry>,
     rebuild: Option<IndexRebuildReport>,
     fail_writes: u64,
+    /// Cap on retained `*.corrupt` files ([`SpillConfig::max_corrupt_files`]).
+    max_corrupt: usize,
+    /// Quarantined files purged past the cap since the last
+    /// [`SpillStore::take_corrupt_purged`].
+    corrupt_purged: u64,
 }
 
 impl std::fmt::Debug for SpillStore {
@@ -605,6 +629,8 @@ impl SpillStore {
             index: BTreeMap::new(),
             rebuild: None,
             fail_writes: 0,
+            max_corrupt: config.max_corrupt_files,
+            corrupt_purged: 0,
         };
         let idx = store.index_path();
         if idx.exists() {
@@ -624,6 +650,8 @@ impl SpillStore {
             // Data files with no index at all: same scavenge path.
             store.scavenge_index();
         }
+        // Cap any `.corrupt` backlog a previous session left behind.
+        store.purge_corrupt_overflow();
         Ok(store)
     }
 
@@ -672,6 +700,12 @@ impl SpillStore {
     /// the query path).
     pub fn contains(&self, key: ChunkKey) -> bool {
         self.index.contains_key(&key.pack())
+    }
+
+    /// Every indexed key, in ascending packed order (no disk access).
+    /// Used by delta ingestion to find spilled copies staled by an update.
+    pub fn keys(&self) -> Vec<ChunkKey> {
+        self.index.keys().map(|&p| ChunkKey::unpack(p)).collect()
     }
 
     /// Number of chunks marked RAM-resident by the last checkpoint.
@@ -797,7 +831,34 @@ impl SpillStore {
             let _ = self.io.remove(&from);
         }
         let _ = self.persist_index();
+        self.purge_corrupt_overflow();
         Some(u64::from(entry.bytes))
+    }
+
+    /// Enforces [`SpillConfig::max_corrupt_files`]: deletes quarantined
+    /// `*.corrupt` files past the cap, in ascending file-name order (the
+    /// deterministic stand-in for age — quarantine stamps no timestamps).
+    /// Purges are counted for [`SpillStore::take_corrupt_purged`];
+    /// file-system failures are ignored (a purge retries on the next
+    /// quarantine).
+    fn purge_corrupt_overflow(&mut self) {
+        let files = self.io.list_files(&self.dir, "corrupt").unwrap_or_default();
+        if files.len() <= self.max_corrupt {
+            return;
+        }
+        let excess = files.len() - self.max_corrupt;
+        for path in files.into_iter().take(excess) {
+            if self.io.remove(&path).is_ok() {
+                self.corrupt_purged += 1;
+            }
+        }
+    }
+
+    /// Drains the count of quarantined files purged past the
+    /// [`SpillConfig::max_corrupt_files`] cap since the last call — the
+    /// feed for `SpillMetrics::corrupt_purged`.
+    pub fn take_corrupt_purged(&mut self) -> u64 {
+        std::mem::take(&mut self.corrupt_purged)
     }
 
     /// Rebuilds the index by scanning the chunk data files: every file
@@ -842,6 +903,7 @@ impl SpillStore {
             }
         }
         let _ = self.persist_index();
+        self.purge_corrupt_overflow();
         self.rebuild = Some(report);
         report
     }
@@ -1487,6 +1549,39 @@ mod tests {
         }
         let _ = std::fs::remove_dir_all(&plain_dir);
         let _ = std::fs::remove_dir_all(&faulty_dir);
+    }
+
+    #[test]
+    fn corrupt_backlog_is_capped() {
+        fn corrupt_names(dir: &Path) -> Vec<String> {
+            let mut names: Vec<String> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .filter(|n| n.ends_with(".corrupt"))
+                .collect();
+            names.sort();
+            names
+        }
+        let dir = tmpdir("corruptcap");
+        let mut store = SpillStore::open(SpillConfig::new(&dir).max_corrupt_files(2)).unwrap();
+        let d = sample_chunk();
+        for i in 0..5u64 {
+            let key = ChunkKey::new(GroupById(2), i);
+            store.write(key, ORIGIN_BACKEND, 1.0, &d).unwrap();
+            assert!(store.quarantine(key).is_some());
+        }
+        // Only the cap's worth of tombstones survive; the excess was
+        // purged in ascending file-name order (oldest keys first).
+        assert_eq!(corrupt_names(&dir).len(), 2);
+        assert_eq!(store.take_corrupt_purged(), 3);
+        assert_eq!(store.take_corrupt_purged(), 0, "take drains the counter");
+        drop(store);
+        // Reopening with a tighter cap clears the backlog a previous
+        // session left behind.
+        let mut store = SpillStore::open(SpillConfig::new(&dir).max_corrupt_files(0)).unwrap();
+        assert!(corrupt_names(&dir).is_empty());
+        assert_eq!(store.take_corrupt_purged(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -82,8 +82,8 @@ pub mod prelude {
         CacheError, CacheManager, CacheManagerBuilder, CheckpointReport, ComputationPlan,
         ConfigError, Consistency, CostTable, CountTable, ExecOutcome, LookupOutcome, LookupStats,
         ManagerConfig, PreloadReport, Query, QueryMetrics, QueryProbe, QueryRequest, QueryResult,
-        RemoteMetrics, Routing, SessionMetrics, SpillMetrics, Strategy, TableKind, ValueQuery,
-        WarmStartReport,
+        RemoteMetrics, Routing, SessionMetrics, SpillMetrics, Strategy, TableKind, UpdateMetrics,
+        ValueQuery, WarmStartReport,
     };
     pub use aggcache_gen::{apb1_schema, Apb1Config, Dataset, SyntheticSpec};
     pub use aggcache_obs::{
@@ -92,10 +92,11 @@ pub mod prelude {
     pub use aggcache_schema::{Dimension, GroupById, Lattice, Level, Schema};
     pub use aggcache_store::{
         decode_record, encode_record, spill_checksum, AggFn, Backend, BackendCostModel,
-        BackendSource, DiskFaultProfile, FactTable, FaultInjectingBackend, FaultInjectingSpillIo,
-        FaultProfile, FsSpillIo, IndexRebuildReport, Lift, MessageCostModel, RetryPolicy,
-        RetryingBackend, ScrubReport, SpillCheckpointStats, SpillConfig, SpillCostModel,
-        SpillError, SpillIo, SpillRecord, SpillStore,
+        BackendSource, DeltaBatch, DeltaOp, DeltaRecord, DiskFaultProfile, EffectiveDelta,
+        FactTable, FaultInjectingBackend, FaultInjectingSpillIo, FaultProfile, FsSpillIo,
+        IndexRebuildReport, Lift, MessageCostModel, RetryPolicy, RetryingBackend, ScrubReport,
+        SpillCheckpointStats, SpillConfig, SpillCostModel, SpillError, SpillIo, SpillRecord,
+        SpillStore,
     };
     pub use aggcache_workload::{
         Arrival, MultiTenantConfig, QueryKind, QueryMix, QueryStream, TenantProfile, TrafficEngine,

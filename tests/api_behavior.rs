@@ -251,6 +251,133 @@ mod manager_api {
     }
 
     #[test]
+    fn error_surface_is_typed_through_run_and_run_batch() {
+        use aggcache::chunks::ChunkError;
+        use aggcache::store::StoreError;
+
+        // Builder misconfiguration: typed ConfigError variants.
+        let build = |budget: Option<usize>, threads: usize, node_budget: Option<u64>| {
+            let ds = SyntheticSpec::new()
+                .dim("a", vec![1, 4], vec![1, 2])
+                .tuples(20)
+                .build();
+            let backend = Backend::new(ds.fact, AggFn::Sum, BackendCostModel::default());
+            let mut b = CacheManager::builder()
+                .strategy(Strategy::Esmc { node_budget })
+                .policy(PolicyKind::TwoLevel)
+                .threads(threads);
+            if let Some(bytes) = budget {
+                b = b.cache_bytes(bytes);
+            }
+            b.build(backend)
+        };
+        assert!(matches!(
+            build(None, 1, None),
+            Err(ConfigError::MissingCacheBudget)
+        ));
+        assert!(matches!(
+            build(Some(0), 1, None),
+            Err(ConfigError::ZeroCacheBudget)
+        ));
+        assert!(matches!(
+            build(Some(1024), 0, None),
+            Err(ConfigError::ZeroThreads)
+        ));
+        assert!(matches!(
+            build(Some(1024), 1, Some(0)),
+            Err(ConfigError::ZeroNodeBudget)
+        ));
+
+        // A query below the fact level surfaces StoreError::NotComputable
+        // through run *and* run_batch (one bad query fails its batch).
+        let grid = tiny_grid();
+        let gb = grid.schema().lattice().id_of(&[1, 0]).unwrap();
+        let dataset = Dataset::generate(grid.clone(), gb, 10, 1.0, 4);
+        let backend = Backend::new(dataset.fact, AggFn::Sum, BackendCostModel::default());
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(backend)
+            .unwrap();
+        let base = grid.schema().lattice().base();
+        assert!(matches!(
+            mgr.run(&(&Query::new(base, vec![0])).into()),
+            Err(CacheError::Store(StoreError::NotComputable { .. }))
+        ));
+        let batch = [
+            QueryRequest::from(&Query::new(gb, vec![0])),
+            QueryRequest::from(&Query::new(base, vec![0])),
+        ];
+        assert!(matches!(
+            mgr.run_batch(&batch),
+            Err(CacheError::Store(StoreError::NotComputable { .. }))
+        ));
+
+        // Malformed delta batches: typed CacheError::Delta at the ingestion
+        // boundary, with the session left untouched.
+        let version = mgr.version();
+        let mut bad_arity = DeltaBatch::new();
+        bad_arity.insert(&[1, 0, 0], 1.0);
+        assert!(matches!(
+            mgr.ingest(&bad_arity),
+            Err(CacheError::Delta(ChunkError::BadCellArity {
+                record: 0,
+                expected: 2,
+                got: 3,
+            }))
+        ));
+        let mut out_of_range = DeltaBatch::new();
+        out_of_range.delete(&[0, 99], 1.0);
+        assert!(matches!(
+            mgr.ingest(&out_of_range),
+            Err(CacheError::Delta(ChunkError::CellOutOfRange {
+                record: 0,
+                ..
+            }))
+        ));
+        assert_eq!(mgr.version(), version);
+        assert_eq!(*mgr.session_updates(), UpdateMetrics::default());
+
+        // Spill operations without a spill tier: typed SpillError that
+        // converts into the unified surface.
+        assert!(mgr.checkpoint().is_err());
+        let e: CacheError = aggcache::store::SpillError::NotAttached.into();
+        assert!(matches!(
+            e,
+            CacheError::Spill(aggcache::store::SpillError::NotAttached)
+        ));
+    }
+
+    #[test]
+    fn permanent_outage_on_a_cold_cache_is_backend_unavailable() {
+        let ds = SyntheticSpec::new()
+            .dim("a", vec![1, 4], vec![1, 2])
+            .tuples(40)
+            .build();
+        let grid = ds.grid.clone();
+        let backend = Backend::new(ds.fact, AggFn::Sum, BackendCostModel::default());
+        let down = FaultInjectingBackend::new(backend, FaultProfile::fail_then_recover(u64::MAX))
+            .expect("profile is valid");
+        let mut mgr = CacheManager::builder()
+            .strategy(Strategy::Vcm)
+            .policy(PolicyKind::TwoLevel)
+            .cache_bytes(usize::MAX >> 1)
+            .build(down)
+            .unwrap();
+        // Nothing cached, nothing computable: the typed error names the
+        // group-by and the chunks that had no answer.
+        let base = grid.schema().lattice().base();
+        match mgr.run(&(&Query::full_group_by(&grid, base)).into()) {
+            Err(CacheError::BackendUnavailable { gb, chunks }) => {
+                assert_eq!(gb, base);
+                assert!(!chunks.is_empty());
+            }
+            other => panic!("expected BackendUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn preload_none_when_nothing_fits() {
         let ds = SyntheticSpec::new()
             .dim("a", vec![1, 4], vec![1, 2])
